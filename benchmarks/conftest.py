@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one table or figure of the paper.  The experiment
+functions already average/extrapolate internally, so a single round per
+benchmark is sufficient and keeps the whole suite fast.
+"""

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 3 of the paper.
+
+Runs the corresponding experiment module end to end (functional simulation at
+the ``tiny`` scale plus cost-model extrapolation to the paper's workload) and
+reports its wall-clock cost via pytest-benchmark.  The printed result table is
+the reproduction of the paper's Figure 3.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig03_key_modes as experiment
+
+
+@pytest.mark.benchmark(group="fig3a")
+def test_fig3a_key_representations(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())
+
+@pytest.mark.benchmark(group="fig3b")
+def test_fig3b_key_stride(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run_fig3b(scale="tiny"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())

@@ -1,0 +1,39 @@
+"""Benchmark regenerating Figure 7 of the paper.
+
+Runs the corresponding experiment module end to end (functional simulation at
+the ``tiny`` scale plus cost-model extrapolation to the paper's workload) and
+reports its wall-clock cost via pytest-benchmark.  The printed result table is
+the reproduction of the paper's Figure 7.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig07_primitives as experiment
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7a_primitive_lookup(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny", panel="lookup"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7b_primitive_build(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny", panel="build"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7c_primitive_memory(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny", panel="memory"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())

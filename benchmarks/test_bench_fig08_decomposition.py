@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figures 8 and 9 of the paper.
+
+Runs the corresponding experiment module end to end (functional simulation at
+the ``tiny`` scale plus cost-model extrapolation to the paper's workload) and
+reports its wall-clock cost via pytest-benchmark.  The printed result table is
+the reproduction of the paper's Figures 8 and 9.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig08_decomposition as experiment
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_point_decompositions(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_range_decompositions(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run_fig9(scale="tiny"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())

@@ -1,0 +1,39 @@
+"""Benchmark regenerating Figure 10 of the paper.
+
+Runs the corresponding experiment module end to end (functional simulation at
+the ``tiny`` scale plus cost-model extrapolation to the paper's workload) and
+reports its wall-clock cost via pytest-benchmark.  The printed result table is
+the reproduction of the paper's Figure 10.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig10_scaling as experiment
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10a_lookup_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10b_key_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run_fig10b(scale="tiny"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10c_build_time(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run_fig10c(scale="tiny"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 12 of the paper.
+
+Runs the corresponding experiment module end to end (functional simulation at
+the ``tiny`` scale plus cost-model extrapolation to the paper's workload) and
+reports its wall-clock cost via pytest-benchmark.  The printed result table is
+the reproduction of the paper's Figure 12.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig12_sorting as experiment
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_sorted_inserts_and_lookups(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())

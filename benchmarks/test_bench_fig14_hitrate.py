@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 14 of the paper.
+
+Runs the corresponding experiment module end to end (functional simulation at
+the ``tiny`` scale plus cost-model extrapolation to the paper's workload) and
+reports its wall-clock cost via pytest-benchmark.  The printed result table is
+the reproduction of the paper's Figure 14.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig14_hitrate as experiment
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_hit_rate_unsorted(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny", sorted_lookups=False), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_hit_rate_sorted(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny", sorted_lookups=True), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())

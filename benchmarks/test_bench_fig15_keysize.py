@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 15 of the paper.
+
+Runs the corresponding experiment module end to end (functional simulation at
+the ``tiny`` scale plus cost-model extrapolation to the paper's workload) and
+reports its wall-clock cost via pytest-benchmark.  The printed result table is
+the reproduction of the paper's Figure 15.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig15_keysize as experiment
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15a_key_size_lookup(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny", panel="lookup"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15b_key_size_memory(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny", panel="memory"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 16 of the paper.
+
+Runs the corresponding experiment module end to end (functional simulation at
+the ``tiny`` scale plus cost-model extrapolation to the paper's workload) and
+reports its wall-clock cost via pytest-benchmark.  The printed result table is
+the reproduction of the paper's Figure 16.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig16_skew as experiment
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_zipf_skew_unsorted(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny", sorted_lookups=False), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_zipf_skew_sorted(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny", sorted_lookups=True), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Table 3 of the paper.
+
+Runs the corresponding experiment module end to end (functional simulation at
+the ``tiny`` scale plus cost-model extrapolation to the paper's workload) and
+reports its wall-clock cost via pytest-benchmark.  The printed result table is
+the reproduction of the paper's Table 3.
+"""
+
+import pytest
+
+from repro.bench.experiments import table03_range_origin as experiment
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_range_ray_origin(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Table 4 of the paper.
+
+Runs the corresponding experiment module end to end (functional simulation at
+the ``tiny`` scale plus cost-model extrapolation to the paper's workload) and
+reports its wall-clock cost via pytest-benchmark.  The printed result table is
+the reproduction of the paper's Table 4.
+"""
+
+import pytest
+
+from repro.bench.experiments import table04_updates as experiment
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_update_strategies(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())

@@ -1,0 +1,65 @@
+"""Index-based join: the batch-lookup workload that motivates RX.
+
+The paper argues that batched lookups "arise naturally in index-based joins":
+for every tuple of a probe relation we look its join key up in a secondary
+index on the build relation and aggregate a payload column.  This example
+runs that join with RX and with the three baseline GPU indexes, verifies that
+all four produce the same join result, and compares their simulated cost on
+an RTX 4090.
+
+Run with::
+
+    python examples/index_based_join.py
+"""
+
+import numpy as np
+
+from repro import (
+    GpuBPlusTree,
+    RTX_4090,
+    RXIndex,
+    SortedArrayIndex,
+    WarpCoreHashTable,
+)
+from repro.bench import SCALES, simulate_build, simulate_lookups
+from repro.workloads import sparse_uniform_keys
+from repro.workloads.table import SecondaryIndexWorkload
+
+
+def make_join_workload(build_rows: int, probe_rows: int, match_fraction: float = 0.7):
+    """Create a build relation (indexed) and a probe relation (lookup keys)."""
+    rng = np.random.default_rng(42)
+    build_keys = sparse_uniform_keys(build_rows, key_bits=32, seed=7)
+    # The probe side: a mix of keys that exist in the build relation and keys
+    # that do not (the join is not a foreign-key join).
+    matching = build_keys[rng.integers(0, build_rows, size=int(probe_rows * match_fraction))]
+    non_matching = rng.integers(0, 2**32, size=probe_rows - matching.shape[0], dtype=np.uint64)
+    probe_keys = np.concatenate([matching, non_matching])
+    rng.shuffle(probe_keys)
+    return SecondaryIndexWorkload.from_keys(build_keys, point_queries=probe_keys)
+
+
+def main() -> None:
+    scale = SCALES["small"]
+    workload = make_join_workload(build_rows=scale.sim_keys, probe_rows=scale.sim_lookups)
+    print(f"join: {workload.num_keys} build rows x {workload.num_point_lookups} probe rows "
+          f"(functional scale; costs extrapolated to 2^26 x 2^27)\n")
+
+    reference = workload.reference_point_aggregate()
+    print(f"{'index':4s} {'join SUM':>14s} {'build [ms]':>11s} {'probe [ms]':>11s} {'bottleneck':>11s}")
+    for index in (WarpCoreHashTable(), GpuBPlusTree(), SortedArrayIndex(), RXIndex()):
+        index.build(workload.keys, workload.values)
+        build_ms, _ = simulate_build(index, scale, device=RTX_4090)
+        cost = simulate_lookups(index, workload, scale, device=RTX_4090)
+        assert cost.run.aggregate == reference, f"{index.name} produced a wrong join result"
+        print(f"{index.name:4s} {cost.run.aggregate:14d} {build_ms:11.1f} "
+              f"{cost.time_ms:11.1f} {cost.lookup_cost.bottleneck:>11s}")
+
+    print("\nAll four indexes agree with the NumPy reference join result.")
+    print("HT is fastest for this all-point-lookup join; RX becomes competitive "
+          "when the probe side is skewed or contains many misses (see "
+          "examples/miss_heavy_filter.py).")
+
+
+if __name__ == "__main__":
+    main()

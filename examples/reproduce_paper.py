@@ -1,0 +1,59 @@
+"""Regenerate every table and figure of the paper from the command line.
+
+Run all experiments (at the small simulation scale)::
+
+    python examples/reproduce_paper.py
+
+Run a single experiment, pick a scale or a GPU::
+
+    python examples/reproduce_paper.py --experiment fig14 --scale medium
+    python examples/reproduce_paper.py --experiment fig18
+    python examples/reproduce_paper.py --list
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.gpusim.device import get_device
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--experiment",
+        action="append",
+        help="experiment id (e.g. fig10, table6); may be given multiple times; default: all",
+    )
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    parser.add_argument("--device", default="4090", help="GPU preset: 4090, 3090, a6000, 2080ti")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, module in ALL_EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {doc}")
+        return 0
+
+    selected = args.experiment or list(ALL_EXPERIMENTS)
+    unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    device = get_device(args.device)
+    for name in selected:
+        module = ALL_EXPERIMENTS[name]
+        started = time.perf_counter()
+        result = module.run(scale=args.scale, device=device)
+        elapsed = time.perf_counter() - started
+        print(result.to_text())
+        print(f"[{name} regenerated in {elapsed:.1f}s wall clock]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works in offline environments whose pip/setuptools
+combination lacks the ``wheel`` package required by the PEP 517 editable
+install path.
+"""
+
+from setuptools import setup
+
+setup()

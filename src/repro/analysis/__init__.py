@@ -1,0 +1,5 @@
+"""Post-processing analyses used by the evaluation."""
+
+from repro.analysis.nnls import CostDecomposition, decompose_range_lookup_cost
+
+__all__ = ["CostDecomposition", "decompose_range_lookup_cost"]

@@ -1,0 +1,213 @@
+"""Common interface shared by every GPU-resident index (RX and baselines).
+
+The benchmark harness interacts with indexes in two steps:
+
+1. **Functional step** — build the index over a key array, run point/range
+   lookup batches, and verify the returned rowIDs / aggregates against a
+   NumPy reference.  This step also records *structural statistics* (probe
+   counts, node visits, ...) measured at the simulation scale.
+2. **Costing step** — ask the index for :class:`repro.gpusim.counters.WorkProfile`
+   objects describing the device work of the build and the lookup batch,
+   optionally extrapolated to the paper's scale (2^26 keys, 2^27 lookups),
+   and feed them to :class:`repro.gpusim.costmodel.CostModel`.
+
+Keeping the two steps separate lets the functional simulation stay small and
+fast while the reported series retain the paper's shape.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.counters import WorkProfile
+
+#: Reserved value written into result arrays when a lookup finds no match,
+#: mirroring the paper's miss sentinel.
+MISS_SENTINEL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass
+class MemoryFootprint:
+    """Device memory of an index, as the paper reports it in Table 6."""
+
+    final_bytes: int
+    build_peak_bytes: int
+
+    @property
+    def build_overhead_bytes(self) -> int:
+        """Extra memory needed only while building (peak minus final)."""
+        return max(self.build_peak_bytes - self.final_bytes, 0)
+
+
+@dataclass
+class BuildResult:
+    """Outcome of building an index over a key column."""
+
+    num_keys: int
+    key_bits: int
+    memory: MemoryFootprint
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class LookupRun:
+    """Outcome of one lookup batch (functional results + structural stats).
+
+    ``result_rows`` holds, for every lookup, the rowID of the first match or
+    ``MISS_SENTINEL``; ``hits_per_lookup`` counts all matches (needed for
+    duplicate keys and range lookups); ``aggregate`` is the sum of the values
+    associated with every matching rowID — the paper's end-to-end result.
+    ``stats`` carries per-index structural counters used for costing.
+    """
+
+    kind: str
+    num_lookups: int
+    result_rows: np.ndarray
+    hits_per_lookup: np.ndarray
+    aggregate: int
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def total_hits(self) -> int:
+        return int(self.hits_per_lookup.sum())
+
+    @property
+    def hit_rate(self) -> float:
+        if self.num_lookups == 0:
+            return 0.0
+        return float((self.hits_per_lookup > 0).mean())
+
+
+class GpuIndex(abc.ABC):
+    """Abstract GPU index: build once, answer batched lookups."""
+
+    #: short name used in reports ("RX", "HT", "B+", "SA", ...)
+    name: str = "abstract"
+    #: whether the index can answer range lookups at all
+    supports_range_lookups: bool = True
+    #: whether duplicate keys may be inserted
+    supports_duplicates: bool = True
+    #: maximum key width in bits (the GPU B+-Tree only supports 32)
+    max_key_bits: int = 64
+
+    def __init__(self) -> None:
+        self._keys: np.ndarray | None = None
+        self._values: np.ndarray | None = None
+        self._build_result: BuildResult | None = None
+
+    # ------------------------------------------------------------------ #
+    # functional interface
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def build(self, keys: np.ndarray, values: np.ndarray | None = None) -> BuildResult:
+        """Build the index over ``keys``; ``values[i]`` belongs to rowID ``i``."""
+
+    @abc.abstractmethod
+    def point_lookup(self, queries: np.ndarray) -> LookupRun:
+        """Answer a batch of point lookups (one exact key per query)."""
+
+    def range_lookup(self, lowers: np.ndarray, uppers: np.ndarray) -> LookupRun:
+        """Answer a batch of inclusive range lookups ``[lowers[i], uppers[i]]``."""
+        raise NotImplementedError(f"{self.name} does not support range lookups")
+
+    # ------------------------------------------------------------------ #
+    # costing interface
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def build_profiles(
+        self, target_keys: int | None = None, presorted: bool = False
+    ) -> list[WorkProfile]:
+        """Work profiles of the build phase, extrapolated to ``target_keys``."""
+
+    @abc.abstractmethod
+    def lookup_profile(
+        self,
+        run: LookupRun,
+        target_keys: int | None = None,
+        target_lookups: int | None = None,
+        locality: float = 0.0,
+        value_bytes: int = 4,
+    ) -> WorkProfile:
+        """Work profile of a lookup batch, extrapolated to the target scale."""
+
+    @abc.abstractmethod
+    def memory_footprint(self, target_keys: int | None = None) -> MemoryFootprint:
+        """Device memory of the index, extrapolated to ``target_keys`` keys."""
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_keys(self) -> int:
+        if self._keys is None:
+            raise RuntimeError(f"{self.name}: build() has not been called yet")
+        return int(self._keys.shape[0])
+
+    @property
+    def keys(self) -> np.ndarray:
+        if self._keys is None:
+            raise RuntimeError(f"{self.name}: build() has not been called yet")
+        return self._keys
+
+    @property
+    def values(self) -> np.ndarray:
+        if self._values is None:
+            raise RuntimeError(f"{self.name}: build() has not been called yet")
+        return self._values
+
+    def _store_column(self, keys: np.ndarray, values: np.ndarray | None, key_bits: int) -> None:
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.ndim != 1:
+            raise ValueError("keys must be a one-dimensional array")
+        if keys.shape[0] == 0:
+            raise ValueError("cannot build an index over an empty key array")
+        if key_bits < 64:
+            limit = np.uint64(1) << np.uint64(key_bits)
+            if np.any(keys >= limit):
+                raise ValueError(
+                    f"{self.name} supports at most {key_bits}-bit keys; got larger keys"
+                )
+        if values is None:
+            values = np.arange(keys.shape[0], dtype=np.uint64)
+        else:
+            values = np.asarray(values, dtype=np.uint64)
+            if values.shape != keys.shape:
+                raise ValueError("values must have the same shape as keys")
+        self._keys = keys
+        self._values = values
+
+    def _aggregate(self, row_ids: np.ndarray) -> int:
+        """Sum the values referenced by ``row_ids`` (the paper's final result)."""
+        if row_ids.size == 0:
+            return 0
+        return int(self.values[row_ids].sum(dtype=np.uint64))
+
+    @staticmethod
+    def _depth_delta(sim_keys: int, target_keys: int | None, base: float = 2.0) -> float:
+        """Extra tree levels when scaling from ``sim_keys`` to ``target_keys``.
+
+        Tree-structured indexes gain ``log_base(target / sim)`` levels; hash
+        tables gain none (they pass ``base=None`` and skip the call).
+        """
+        if not target_keys or target_keys <= sim_keys:
+            return 0.0
+        return math.log(target_keys / sim_keys, base)
+
+    @staticmethod
+    def _scale_lookups(sim_lookups: int, target_lookups: int | None) -> float:
+        if not target_lookups or sim_lookups == 0:
+            return 1.0
+        return target_lookups / sim_lookups
+
+    @staticmethod
+    def _key_scale(sim_keys: int, target_keys: int | None) -> float:
+        if not target_keys or sim_keys == 0:
+            return 1.0
+        return target_keys / sim_keys

@@ -1,0 +1,219 @@
+"""SA — a sorted array probed with binary search.
+
+The simplest order-preserving baseline of the paper: the key column is sorted
+(with CUB's radix sort) alongside its rowIDs, lookups run a naive binary
+search per query, and range lookups scan forward from the lower bound.  SA
+has zero structural overhead but its binary search performs ``log2(n)``
+*dependent* random memory accesses per lookup, which is exactly why the paper
+finds it latency-bound and slowest under unsorted lookups.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.base import (
+    BuildResult,
+    GpuIndex,
+    LookupRun,
+    MemoryFootprint,
+    MISS_SENTINEL,
+)
+from repro.gpusim.counters import WorkProfile
+from repro.gpusim.sorting import DeviceRadixSort
+
+#: Bytes fetched per binary-search step: one key access touches a cache line.
+CACHE_LINE_BYTES = 32
+
+
+class SortedArrayIndex(GpuIndex):
+    """Sorted (key, rowID) array with per-query binary search."""
+
+    name = "SA"
+    supports_range_lookups = True
+    supports_duplicates = True
+    max_key_bits = 64
+
+    def __init__(self, key_bytes: int = 4, value_bytes: int = 4):
+        super().__init__()
+        if key_bytes not in (4, 8):
+            raise ValueError("key_bytes must be 4 or 8")
+        self.key_bytes = key_bytes
+        self.value_bytes = value_bytes
+        self._sorted_keys: np.ndarray | None = None
+        self._sorted_rows: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # build
+    # ------------------------------------------------------------------ #
+
+    def build(self, keys: np.ndarray, values: np.ndarray | None = None) -> BuildResult:
+        key_bits = 32 if self.key_bytes == 4 else 64
+        self._store_column(keys, values, key_bits=key_bits)
+        sorter = DeviceRadixSort(key_bytes=self.key_bytes, value_bytes=self.value_bytes)
+        row_ids = np.arange(self.num_keys, dtype=np.uint64)
+        result = sorter.sort_pairs(self.keys, row_ids)
+        self._sorted_keys = result.keys
+        self._sorted_rows = result.values
+        memory = self.memory_footprint()
+        self._build_result = BuildResult(
+            num_keys=self.num_keys,
+            key_bits=key_bits,
+            memory=memory,
+            stats={"binary_search_depth": self._search_depth(self.num_keys)},
+        )
+        return self._build_result
+
+    @staticmethod
+    def _search_depth(n: int) -> float:
+        return float(max(math.ceil(math.log2(max(n, 2))), 1))
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+
+    def point_lookup(self, queries: np.ndarray) -> LookupRun:
+        if self._sorted_keys is None:
+            raise RuntimeError("build() must be called before lookups")
+        queries = np.asarray(queries, dtype=np.uint64)
+        m = queries.shape[0]
+
+        start = np.searchsorted(self._sorted_keys, queries, side="left")
+        stop = np.searchsorted(self._sorted_keys, queries, side="right")
+        counts = (stop - start).astype(np.int64)
+
+        result_rows = np.full(m, MISS_SENTINEL, dtype=np.uint64)
+        nonempty = counts > 0
+        result_rows[nonempty] = self._sorted_rows[start[nonempty]]
+
+        total = int(counts.sum())
+        aggregate = 0
+        if total:
+            offsets = np.repeat(np.cumsum(counts) - counts, counts)
+            flat = np.arange(total, dtype=np.int64) - offsets + np.repeat(start, counts)
+            aggregate = self._aggregate(self._sorted_rows[flat].astype(np.int64))
+
+        return LookupRun(
+            kind="point",
+            num_lookups=m,
+            result_rows=result_rows,
+            hits_per_lookup=counts,
+            aggregate=aggregate,
+            stats={
+                "binary_search_depth": self._search_depth(self.num_keys),
+                "entries_scanned": float(counts.mean()) if m else 0.0,
+            },
+        )
+
+    def range_lookup(self, lowers: np.ndarray, uppers: np.ndarray) -> LookupRun:
+        if self._sorted_keys is None:
+            raise RuntimeError("build() must be called before lookups")
+        lowers = np.asarray(lowers, dtype=np.uint64)
+        uppers = np.asarray(uppers, dtype=np.uint64)
+        if lowers.shape != uppers.shape:
+            raise ValueError("lowers and uppers must have the same shape")
+        m = lowers.shape[0]
+
+        start = np.searchsorted(self._sorted_keys, lowers, side="left")
+        stop = np.searchsorted(self._sorted_keys, uppers, side="right")
+        counts = (stop - start).astype(np.int64)
+
+        result_rows = np.full(m, MISS_SENTINEL, dtype=np.uint64)
+        nonempty = counts > 0
+        result_rows[nonempty] = self._sorted_rows[start[nonempty]]
+
+        total = int(counts.sum())
+        aggregate = 0
+        if total:
+            offsets = np.repeat(np.cumsum(counts) - counts, counts)
+            flat = np.arange(total, dtype=np.int64) - offsets + np.repeat(start, counts)
+            aggregate = self._aggregate(self._sorted_rows[flat].astype(np.int64))
+
+        return LookupRun(
+            kind="range",
+            num_lookups=m,
+            result_rows=result_rows,
+            hits_per_lookup=counts,
+            aggregate=aggregate,
+            stats={
+                "binary_search_depth": self._search_depth(self.num_keys),
+                "entries_scanned": float(counts.mean()) if m else 0.0,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # costing
+    # ------------------------------------------------------------------ #
+
+    def memory_footprint(self, target_keys: int | None = None) -> MemoryFootprint:
+        n = self.num_keys if target_keys is None else target_keys
+        entry_bytes = self.key_bytes + self.value_bytes
+        final = n * entry_bytes
+        # The radix sort works out of place: a second buffer coexists with
+        # the final one during construction.
+        return MemoryFootprint(final_bytes=final, build_peak_bytes=final + final)
+
+    def build_profiles(
+        self, target_keys: int | None = None, presorted: bool = False
+    ) -> list[WorkProfile]:
+        n = self.num_keys if target_keys is None else target_keys
+        profiles: list[WorkProfile] = []
+        if not presorted:
+            sorter = DeviceRadixSort(key_bytes=self.key_bytes, value_bytes=self.value_bytes)
+            profiles.append(sorter.work_profile(n))
+        profiles.append(
+            WorkProfile(
+                name="SA materialize",
+                threads=n,
+                instructions=n * 4.0,
+                bytes_accessed=2.0 * n * (self.key_bytes + self.value_bytes),
+                working_set_bytes=n * (self.key_bytes + self.value_bytes),
+                kernel_launches=1,
+                dram_bytes_min=n * (self.key_bytes + self.value_bytes),
+            )
+        )
+        return profiles
+
+    def lookup_profile(
+        self,
+        run: LookupRun,
+        target_keys: int | None = None,
+        target_lookups: int | None = None,
+        locality: float = 0.0,
+        value_bytes: int = 4,
+    ) -> WorkProfile:
+        m = run.num_lookups if target_lookups is None else target_lookups
+        lookup_scale = self._scale_lookups(run.num_lookups, target_lookups)
+        depth = run.stats.get("binary_search_depth", self._search_depth(self.num_keys))
+        if target_keys is not None:
+            depth += self._search_depth(target_keys) - self._search_depth(self.num_keys)
+        entries = run.stats.get("entries_scanned", 1.0)
+        hits = run.total_hits * lookup_scale
+
+        n = self.num_keys if target_keys is None else target_keys
+        structure_bytes = n * (self.key_bytes + self.value_bytes)
+        n_values = n * value_bytes
+
+        # Each binary-search step touches one cache line at a random position
+        # and depends on the previous step: high latency sensitivity, few
+        # instructions.
+        instructions = m * (depth * 8.0 + 12.0) + hits * 6.0 + m * entries * 2.0
+        bytes_accessed = (
+            m * (depth * CACHE_LINE_BYTES + self.key_bytes)
+            + (hits + m * max(entries - 1.0, 0.0)) * (self.key_bytes + value_bytes)
+        )
+        return WorkProfile(
+            name="SA lookup",
+            threads=int(m),
+            instructions=instructions,
+            bytes_accessed=bytes_accessed,
+            working_set_bytes=structure_bytes + n_values,
+            serial_depth=depth,
+            kernel_launches=1,
+            locality=locality,
+            hot_fraction=0.60,
+            dram_bytes_min=m * (self.key_bytes + 8),
+            metadata={"binary_search_depth": depth},
+        )

@@ -1,0 +1,38 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Each module under :mod:`repro.bench.experiments` reproduces one table or
+figure.  All of them expose a ``run(scale=..., device=...)`` function that
+returns an :class:`repro.bench.harness.ExperimentResult`, which can be
+printed as a text table (``result.to_text()``) or consumed programmatically.
+
+The ``scale`` argument controls the size of the *functional* simulation
+(``"tiny"``, ``"small"``, ``"medium"``); the reported numbers are always
+extrapolated to the paper's workload sizes (2^26 keys, 2^27 lookups on an
+RTX 4090) through the GPU cost model, so the series keep the paper's shape
+regardless of the simulation size.
+"""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    ExperimentSeries,
+    LookupCost,
+    Scale,
+    SCALES,
+    simulate_build,
+    simulate_lookups,
+    zipf_locality,
+)
+from repro.bench.report import format_table, series_to_rows
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSeries",
+    "LookupCost",
+    "SCALES",
+    "Scale",
+    "format_table",
+    "series_to_rows",
+    "simulate_build",
+    "simulate_lookups",
+    "zipf_locality",
+]

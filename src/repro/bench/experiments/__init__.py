@@ -1,0 +1,72 @@
+"""One module per table/figure of the paper's evaluation.
+
+========================  =====================================================
+module                    paper result
+========================  =====================================================
+``fig03_key_modes``       Fig 3a/b — key representations and key stride
+``fig06_ray_modes``       Fig 6 — parallel vs perpendicular point rays
+``table03_range_origin``  Table 3 — offset vs from-zero range rays
+``fig07_primitives``      Fig 7a/b/c — triangle vs sphere vs AABB primitives
+``fig08_decomposition``   Fig 8/9 — key decompositions (point + range lookups)
+``table04_updates``       Table 4 — refit vs rebuild updates
+``fig10_scaling``         Fig 10a/b/c — lookup/build scaling of all indexes
+``table05_warps``         Table 5 — warp occupancy and bandwidth utilisation
+``table06_memory``        Table 6 — memory footprints
+``fig11_multiplicity``    Fig 11 — duplicate keys
+``fig12_sorting``         Fig 12 — sorted inserts / sorted lookups
+``fig13_batching``        Fig 13 — lookup batch sizes
+``fig14_hitrate``         Fig 14 — hit rate sweep
+``fig15_keysize``         Fig 15a/b — 32-bit vs 64-bit keys
+``fig16_skew``            Fig 16 — Zipf-skewed lookups
+``table07_skew_profile``  Table 7 — profiling under skew
+``fig17_range``           Fig 17 — range lookups + NNLS cost split
+``fig18_hardware``        Fig 18 / Table 8 — GPU generations
+``ablation_builders``     extra — software-BVH builder / leaf size ablation
+========================  =====================================================
+"""
+
+from repro.bench.experiments import (  # noqa: F401
+    ablation_builders,
+    fig03_key_modes,
+    fig06_ray_modes,
+    fig07_primitives,
+    fig08_decomposition,
+    fig10_scaling,
+    fig11_multiplicity,
+    fig12_sorting,
+    fig13_batching,
+    fig14_hitrate,
+    fig15_keysize,
+    fig16_skew,
+    fig17_range,
+    fig18_hardware,
+    table03_range_origin,
+    table04_updates,
+    table05_warps,
+    table06_memory,
+    table07_skew_profile,
+)
+
+ALL_EXPERIMENTS = {
+    "fig03": fig03_key_modes,
+    "fig06": fig06_ray_modes,
+    "table03": table03_range_origin,
+    "fig07": fig07_primitives,
+    "fig08": fig08_decomposition,
+    "table04": table04_updates,
+    "fig10": fig10_scaling,
+    "table05": table05_warps,
+    "table06": table06_memory,
+    "fig11": fig11_multiplicity,
+    "fig12": fig12_sorting,
+    "fig13": fig13_batching,
+    "fig14": fig14_hitrate,
+    "fig15": fig15_keysize,
+    "fig16": fig16_skew,
+    "table07": table07_skew_profile,
+    "fig17": fig17_range,
+    "fig18": fig18_hardware,
+    "ablation": ablation_builders,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

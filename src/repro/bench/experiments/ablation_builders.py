@@ -1,0 +1,59 @@
+"""Ablation — software-BVH builder quality and leaf size.
+
+The paper cannot look inside OptiX's proprietary builder, so our substrate
+exposes three builders (LBVH, binned SAH, object median) plus the maximum
+leaf size.  This ablation quantifies how much the reproduction's conclusions
+depend on that choice: lookup cost per builder/leaf size for the standard
+point-lookup workload, plus the resulting BVH quality statistics.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    ExperimentResult,
+    ExperimentSeries,
+    resolve_scale,
+    simulate_lookups,
+)
+from repro.bench.experiments.common import standard_point_workload
+from repro.core import RXConfig, RXIndex
+from repro.gpusim.device import RTX_4090
+
+BUILDERS = ["lbvh", "sah", "median"]
+LEAF_SIZES = [1, 2, 4, 8, 16]
+
+
+def run(scale: str = "small", device=RTX_4090) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    workload = standard_point_workload(scale, seed=191)
+
+    builder_times, builder_depths, builder_nodes = [], [], []
+    for builder in BUILDERS:
+        index = RXIndex(RXConfig(bvh_builder=builder))
+        build_result = index.build(workload.keys, workload.values)
+        cost = simulate_lookups(index, workload, scale, device=device)
+        builder_times.append(cost.time_ms)
+        builder_depths.append(build_result.stats["bvh_depth"])
+        builder_nodes.append(build_result.stats["bvh_nodes"])
+
+    leaf_times = []
+    for leaf_size in LEAF_SIZES:
+        index = RXIndex(RXConfig(max_leaf_size=leaf_size))
+        index.build(workload.keys, workload.values)
+        leaf_times.append(simulate_lookups(index, workload, scale, device=device).time_ms)
+
+    series = [
+        ExperimentSeries(label="lookup time per builder", x=BUILDERS, y=builder_times, unit="ms"),
+        ExperimentSeries(label="BVH depth per builder", x=BUILDERS, y=builder_depths, unit="levels"),
+        ExperimentSeries(label="BVH nodes per builder", x=BUILDERS, y=builder_nodes, unit="#"),
+        ExperimentSeries(label="lookup time per leaf size", x=LEAF_SIZES, y=leaf_times, unit="ms"),
+    ]
+    return ExperimentResult(
+        experiment_id="ablation-builders",
+        title="Sensitivity of RX to the software-BVH builder and leaf size",
+        x_label="configuration",
+        series=series,
+        notes="The paper's conclusions should hold for any reasonable builder choice.",
+        scale=scale.name,
+        device=device.name,
+    )

@@ -1,0 +1,90 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import (
+    GpuBPlusTree,
+    GpuIndex,
+    SortedArrayIndex,
+    WarpCoreHashTable,
+)
+from repro.bench.harness import Scale, resolve_scale
+from repro.core import RXConfig, RXIndex
+from repro.workloads import (
+    dense_shuffled_keys,
+    point_lookups,
+    range_lookups,
+    sparse_uniform_keys,
+)
+from repro.workloads.table import SecondaryIndexWorkload
+
+#: Index classes of the paper's main comparison, in the order of its legends.
+STANDARD_INDEX_CLASSES: dict[str, type[GpuIndex]] = {
+    "HT": WarpCoreHashTable,
+    "B+": GpuBPlusTree,
+    "SA": SortedArrayIndex,
+    "RX": RXIndex,
+}
+
+
+def make_standard_indexes(
+    include: tuple[str, ...] = ("HT", "B+", "SA", "RX"),
+    rx_config: RXConfig | None = None,
+    key_bytes: int = 4,
+) -> dict[str, GpuIndex]:
+    """Instantiate the requested subset of the standard indexes."""
+    indexes: dict[str, GpuIndex] = {}
+    for name in include:
+        if name == "RX":
+            indexes[name] = RXIndex(rx_config or RXConfig.paper_default())
+        elif name == "B+":
+            indexes[name] = GpuBPlusTree()
+        elif name == "HT":
+            indexes[name] = WarpCoreHashTable(key_bytes=key_bytes)
+        elif name == "SA":
+            indexes[name] = SortedArrayIndex(key_bytes=key_bytes)
+        else:
+            raise KeyError(f"unknown index {name!r}")
+    return indexes
+
+
+def standard_point_workload(
+    scale: str | Scale,
+    key_bits: int = 32,
+    dense: bool = False,
+    seed: int = 0,
+) -> SecondaryIndexWorkload:
+    """Section 4 setup: sparse 32-bit keys + uniform all-hit point lookups."""
+    scale = resolve_scale(scale)
+    if dense:
+        keys = dense_shuffled_keys(scale.sim_keys, seed=seed)
+    else:
+        keys = sparse_uniform_keys(scale.sim_keys, key_bits=key_bits, seed=seed)
+    queries = point_lookups(keys, scale.sim_lookups, seed=seed + 1)
+    return SecondaryIndexWorkload.from_keys(keys, point_queries=queries)
+
+
+def dense_range_workload(
+    scale: str | Scale,
+    span: int,
+    num_lookups: int | None = None,
+    seed: int = 0,
+) -> SecondaryIndexWorkload:
+    """Section 4.9 setup: dense key set so a span of ``s`` returns ``s`` rows."""
+    scale = resolve_scale(scale)
+    keys = dense_shuffled_keys(scale.sim_keys, seed=seed)
+    lookups = num_lookups if num_lookups is not None else max(scale.sim_lookups // 4, 16)
+    lowers, uppers = range_lookups(keys, lookups, span=span, seed=seed + 1)
+    return SecondaryIndexWorkload.from_keys(
+        keys, range_lowers=lowers, range_uppers=uppers
+    )
+
+
+def log2_label(value: int) -> str:
+    """Format a power of two as ``2^n`` (used for x axis labels)."""
+    exponent = int(np.log2(value))
+    if 2**exponent == value:
+        return f"2^{exponent}"
+    return str(value)

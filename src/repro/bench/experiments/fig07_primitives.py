@@ -1,0 +1,85 @@
+"""Figure 7 — Which primitive type is ideal?
+
+Three panels over the number of indexed keys, for triangles, spheres and
+AABBs, each with and without BVH compaction:
+
+* (a) cumulative point-lookup time — triangles win because their intersection
+  test runs on the RT cores, whereas spheres and AABBs call a software
+  intersection program,
+* (b) build time — AABBs build fastest, spheres slowest; compaction is cheap,
+* (c) memory footprint — uncompacted triangles are the largest, compaction
+  roughly halves triangles and AABBs, compacted sphere BVHs end up largest.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    ExperimentResult,
+    ExperimentSeries,
+    resolve_scale,
+    simulate_build,
+    simulate_lookups,
+)
+from repro.bench.experiments.common import log2_label
+from repro.core import PrimitiveType, RXConfig, RXIndex
+from repro.gpusim.device import RTX_4090
+from repro.workloads import dense_shuffled_keys, point_lookups
+from repro.workloads.table import SecondaryIndexWorkload
+
+BUILD_SIZES = [2**21, 2**22, 2**23, 2**24, 2**25, 2**26]
+
+_PRIMITIVES = {
+    "triangle": PrimitiveType.TRIANGLE,
+    "sphere": PrimitiveType.SPHERE,
+    "aabb": PrimitiveType.AABB,
+}
+
+
+def run(scale: str = "small", device=RTX_4090, panel: str = "lookup") -> ExperimentResult:
+    """``panel`` selects the figure panel: ``"lookup"``, ``"build"`` or ``"memory"``."""
+    if panel not in ("lookup", "build", "memory"):
+        raise ValueError("panel must be 'lookup', 'build' or 'memory'")
+    scale = resolve_scale(scale)
+    keys = dense_shuffled_keys(scale.sim_keys, seed=41)
+    queries = point_lookups(keys, scale.sim_lookups, seed=42)
+    workload = SecondaryIndexWorkload.from_keys(keys, point_queries=queries)
+
+    series = []
+    for prim_label, primitive in _PRIMITIVES.items():
+        for compaction in (False, True):
+            config = RXConfig(primitive=primitive, compaction=compaction)
+            index = RXIndex(config)
+            index.build(workload.keys, workload.values)
+            ys = []
+            for num_keys in BUILD_SIZES:
+                local = scale.with_targets(target_keys=num_keys)
+                if panel == "lookup":
+                    ys.append(simulate_lookups(index, workload, local, device=device).time_ms)
+                elif panel == "build":
+                    build_ms, _ = simulate_build(index, local, device=device)
+                    ys.append(build_ms)
+                else:
+                    ys.append(index.memory_footprint(target_keys=num_keys).final_bytes / 1e9)
+            label = f"{prim_label} ({'compacted' if compaction else 'uncompacted'})"
+            series.append(
+                ExperimentSeries(
+                    label=label,
+                    x=[log2_label(n) for n in BUILD_SIZES],
+                    y=ys,
+                    unit="ms" if panel != "memory" else "GB",
+                )
+            )
+    titles = {
+        "lookup": "Figure 7a: lookup performance per primitive type",
+        "build": "Figure 7b: build performance per primitive type",
+        "memory": "Figure 7c: memory footprint per primitive type",
+    }
+    return ExperimentResult(
+        experiment_id=f"fig7-{panel}",
+        title=titles[panel],
+        x_label="indexed keys",
+        series=series,
+        notes="Triangles use the hardware intersection test; spheres and AABBs fall back to software.",
+        scale=scale.name,
+        device=device.name,
+    )

@@ -1,0 +1,92 @@
+"""Figures 8 and 9 — How should the key bits be decomposed onto x, y and z?
+
+Figure 8 sweeps decompositions for point lookups: pushing bits into the z
+component stacks primitives along the axis the point rays travel and slows
+lookups down.  Figure 9 sweeps decompositions for range lookups with 256 and
+1024 qualifying entries: the more bits the x component receives, the fewer
+rays a range needs and the faster it completes.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    ExperimentResult,
+    ExperimentSeries,
+    resolve_scale,
+    simulate_lookups,
+)
+from repro.core import KeyDecomposition, RXConfig, RXIndex
+from repro.gpusim.device import RTX_4090
+from repro.workloads import dense_shuffled_keys, point_lookups, range_lookups
+from repro.workloads.table import SecondaryIndexWorkload
+
+#: Decompositions of Figure 8 (x+y+z bit counts), left-to-right.
+POINT_DECOMPOSITIONS = [
+    "23+3+0", "22+4+0", "21+5+0", "20+6+0", "19+7+0", "18+8+0", "17+9+0", "16+10+0",
+    "23+0+3", "22+0+4", "21+0+5", "20+0+6", "19+0+7", "18+0+8", "17+0+9", "16+0+10",
+]
+
+#: Decompositions of Figure 9.
+RANGE_DECOMPOSITIONS = [
+    "16+10+0", "17+9+0", "18+8+0", "19+7+0", "20+6+0", "21+5+0", "22+4+0", "23+3+0",
+]
+
+
+def run(scale: str = "small", device=RTX_4090) -> ExperimentResult:
+    """Figure 8: point lookups under varying key decompositions."""
+    scale = resolve_scale(scale)
+    keys = dense_shuffled_keys(scale.sim_keys, seed=51)
+    queries = point_lookups(keys, scale.sim_lookups, seed=52)
+    workload = SecondaryIndexWorkload.from_keys(keys, point_queries=queries)
+
+    ys = []
+    for label in POINT_DECOMPOSITIONS:
+        config = RXConfig(decomposition=KeyDecomposition.from_label(label))
+        index = RXIndex(config)
+        index.build(workload.keys, workload.values)
+        ys.append(simulate_lookups(index, workload, scale, device=device).time_ms)
+
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Point lookups under varying key decompositions",
+        x_label="key decomposition (x+y+z)",
+        series=[ExperimentSeries(label="RX", x=POINT_DECOMPOSITIONS, y=ys, unit="ms")],
+        notes="Bits assigned to z stack primitives along the point-ray direction.",
+        scale=scale.name,
+        device=device.name,
+    )
+
+
+def run_fig9(scale: str = "small", device=RTX_4090) -> ExperimentResult:
+    """Figure 9: range lookups under varying key decompositions."""
+    scale = resolve_scale(scale)
+    keys = dense_shuffled_keys(scale.sim_keys, seed=53)
+    series = []
+    for hits in (256, 1024):
+        lowers, uppers = range_lookups(keys, max(scale.sim_lookups // 8, 16), span=hits, seed=54)
+        workload = SecondaryIndexWorkload.from_keys(
+            keys, range_lowers=lowers, range_uppers=uppers
+        )
+        ys = []
+        for label in RANGE_DECOMPOSITIONS:
+            config = RXConfig(
+                decomposition=KeyDecomposition.from_label(label),
+                max_rays_per_range=4096,
+            )
+            index = RXIndex(config)
+            index.build(workload.keys, workload.values)
+            ys.append(
+                simulate_lookups(index, workload, scale, device=device, kind="range").time_ms
+            )
+        series.append(
+            ExperimentSeries(label=f"{hits} hits per ray", x=RANGE_DECOMPOSITIONS, y=ys, unit="ms")
+        )
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Range lookups under varying key decompositions",
+        x_label="key decomposition (x+y+z)",
+        series=series,
+        notes="More x bits reduce the number of rays a wide range lookup fans out into.",
+        scale=scale.name,
+        device=device.name,
+    )

@@ -1,0 +1,54 @@
+"""Figure 11 — Impact of key multiplicity (duplicates) on point lookups.
+
+The key multiplicity grows from 1 to 256 while the number of point lookups
+stays fixed; the cumulative lookup time is normalised by the multiplicity
+(every lookup returns that many rowIDs).  Duplicates favour all indexes; RX
+handles them particularly well because duplicate keys map to primitives at
+identical coordinates, adding intersection tests but no BVH complexity.  B+
+cannot participate (it does not support duplicate keys).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    ExperimentResult,
+    ExperimentSeries,
+    resolve_scale,
+    simulate_lookups,
+)
+from repro.bench.experiments.common import make_standard_indexes
+from repro.gpusim.device import RTX_4090
+from repro.workloads import keys_with_multiplicity, point_lookups
+from repro.workloads.table import SecondaryIndexWorkload
+
+MULTIPLICITIES = [2**n for n in range(0, 9, 2)]
+
+
+def run(scale: str = "small", device=RTX_4090) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    indexes = ("HT", "SA", "RX")
+    results: dict[str, list[float]] = {name: [] for name in indexes}
+
+    for multiplicity in MULTIPLICITIES:
+        n_distinct = max(scale.sim_keys // multiplicity, 64)
+        keys = keys_with_multiplicity(n_distinct, multiplicity, seed=101)
+        queries = point_lookups(keys, scale.sim_lookups, seed=102)
+        workload = SecondaryIndexWorkload.from_keys(keys, point_queries=queries)
+        for name, index in make_standard_indexes(include=indexes).items():
+            index.build(workload.keys, workload.values)
+            cost = simulate_lookups(index, workload, scale, device=device)
+            results[name].append(cost.time_ms / multiplicity)
+
+    series = [
+        ExperimentSeries(label=name, x=MULTIPLICITIES, y=values, unit="ms (normalised)")
+        for name, values in results.items()
+    ]
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Impact of key multiplicity on point lookups (normalised)",
+        x_label="key multiplicity",
+        series=series,
+        notes="B+ is omitted: the GPU B+-Tree does not support duplicate keys.",
+        scale=scale.name,
+        device=device.name,
+    )

@@ -1,0 +1,67 @@
+"""Figure 14 — Varying the hit rate of point lookups.
+
+As the fraction of lookups that find a key drops from 1.0 to 0.0, RX speeds
+up disproportionately (up to ~3x): the BVH traversal of a missed key aborts
+as soon as no bounding volume covers it, whereas the software trees always
+descend to a leaf and the hash table probes even longer on misses.  Under
+unordered lookups RX overtakes B+ and SA at hit rates below ~0.5 and even HT
+below ~0.1.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    ExperimentResult,
+    ExperimentSeries,
+    resolve_scale,
+    simulate_lookups,
+)
+from repro.bench.experiments.common import make_standard_indexes
+from repro.gpusim.device import RTX_4090
+from repro.workloads import point_lookups_with_hit_rate, sparse_uniform_keys
+from repro.workloads.table import SecondaryIndexWorkload
+
+HIT_RATES = [1.0, 0.99, 0.9, 0.7, 0.5, 0.3, 0.1, 0.01, 0.0]
+
+
+def run(
+    scale: str = "small",
+    device=RTX_4090,
+    sorted_lookups: bool = False,
+    outside_domain_misses: bool = False,
+) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    keys = sparse_uniform_keys(scale.sim_keys, key_bits=32, seed=131)
+
+    results: dict[str, list[float]] = {}
+    for hit_rate in HIT_RATES:
+        queries = point_lookups_with_hit_rate(
+            keys,
+            scale.sim_lookups,
+            hit_rate,
+            key_bits=32,
+            seed=132,
+            outside_domain_misses=outside_domain_misses,
+        )
+        workload = SecondaryIndexWorkload.from_keys(keys, point_queries=queries)
+        for name, index in make_standard_indexes().items():
+            index.build(workload.keys, workload.values)
+            cost = simulate_lookups(
+                index, workload, scale, device=device, sorted_lookups=sorted_lookups
+            )
+            results.setdefault(name, []).append(cost.lookup_time_ms)
+
+    series = [
+        ExperimentSeries(label=name, x=HIT_RATES, y=values, unit="ms")
+        for name, values in results.items()
+    ]
+    suffix = "sorted" if sorted_lookups else "unsorted"
+    return ExperimentResult(
+        experiment_id="fig14",
+        title=f"Varying the hit rate ({suffix} lookups)",
+        x_label="hit rate",
+        series=series,
+        notes="Misses let the BVH abort early; HT probes longer on misses.",
+        scale=scale.name,
+        device=device.name,
+    )

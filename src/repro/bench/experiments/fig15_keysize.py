@@ -1,0 +1,65 @@
+"""Figure 15 — 32-bit vs 64-bit keys.
+
+RX converts 32-bit keys into the same triangles as 64-bit keys, so neither
+its lookup time nor its footprint changes.  HT and SA must widen their key
+storage: 64-bit comparisons and the larger structures slow them down and
+increase their memory consumption.  B+ only supports 32-bit keys and serves
+as the reference point.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    ExperimentResult,
+    ExperimentSeries,
+    resolve_scale,
+    simulate_lookups,
+)
+from repro.bench.experiments.common import make_standard_indexes
+from repro.gpusim.device import RTX_4090
+from repro.workloads import point_lookups, sparse_uniform_keys
+from repro.workloads.table import SecondaryIndexWorkload
+
+KEY_SIZES = [32, 64]
+
+
+def run(scale: str = "small", device=RTX_4090, panel: str = "lookup") -> ExperimentResult:
+    """``panel`` is ``"lookup"`` (Figure 15a) or ``"memory"`` (Figure 15b)."""
+    if panel not in ("lookup", "memory"):
+        raise ValueError("panel must be 'lookup' or 'memory'")
+    scale = resolve_scale(scale)
+
+    results: dict[str, list[float | None]] = {}
+    for key_bits in KEY_SIZES:
+        keys = sparse_uniform_keys(scale.sim_keys, key_bits=key_bits, seed=141)
+        queries = point_lookups(keys, scale.sim_lookups, seed=142)
+        workload = SecondaryIndexWorkload.from_keys(keys, point_queries=queries)
+        key_bytes = key_bits // 8
+        names = ("HT", "B+", "SA", "RX") if key_bits == 32 else ("HT", "SA", "RX")
+        indexes = make_standard_indexes(include=names, key_bytes=key_bytes)
+        for name in ("HT", "B+", "SA", "RX"):
+            if name not in indexes:
+                results.setdefault(name, []).append(None)
+                continue
+            index = indexes[name]
+            index.build(workload.keys, workload.values)
+            if panel == "lookup":
+                value = simulate_lookups(index, workload, scale, device=device).time_ms
+            else:
+                value = index.memory_footprint(target_keys=scale.target_keys).final_bytes / 1e9
+            results.setdefault(name, []).append(value)
+
+    unit = "ms" if panel == "lookup" else "GB"
+    series = [
+        ExperimentSeries(label=name, x=[f"{b}-bit" for b in KEY_SIZES], y=values, unit=unit)
+        for name, values in results.items()
+    ]
+    return ExperimentResult(
+        experiment_id=f"fig15-{panel}",
+        title="Impact of the key size (32-bit vs 64-bit)",
+        x_label="key size",
+        series=series,
+        notes="RX treats both key sizes identically; B+ only supports 32-bit keys (N/A).",
+        scale=scale.name,
+        device=device.name,
+    )

@@ -1,0 +1,65 @@
+"""Figure 17 — Range lookups with a growing number of qualifying entries.
+
+The order-based indexes (B+, SA, RX) answer range lookups over a dense key
+set whose spans grow from 1 to 1024 qualifying entries; the cumulative time
+is normalised by the span.  B+ wins across the board thanks to its linked
+leaves and warp-level aggregation; RX beats SA for small ranges but has to
+pay one intersection test per qualifying entry.  The experiment also solves
+the paper's non-negative least-squares system to split RX's cost into a
+traversal and a per-hit intersection component (Section 4.9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.nnls import decompose_range_lookup_cost
+from repro.bench.harness import (
+    ExperimentResult,
+    ExperimentSeries,
+    resolve_scale,
+    simulate_lookups,
+)
+from repro.bench.experiments.common import dense_range_workload, make_standard_indexes
+from repro.gpusim.device import RTX_4090
+
+QUALIFYING_ENTRIES = [2**n for n in range(0, 11, 2)]
+
+
+def run(scale: str = "small", device=RTX_4090) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    results: dict[str, list[float]] = {}
+    rx_cumulative: list[float] = []
+
+    for span in QUALIFYING_ENTRIES:
+        workload = dense_range_workload(scale, span=span, seed=171)
+        for name, index in make_standard_indexes(include=("B+", "SA", "RX")).items():
+            index.build(workload.keys, workload.values)
+            cost = simulate_lookups(index, workload, scale, device=device, kind="range")
+            results.setdefault(name, []).append(cost.time_ms / span)
+            if name == "RX":
+                rx_cumulative.append(cost.time_ms)
+
+    decomposition = decompose_range_lookup_cost(
+        np.array(QUALIFYING_ENTRIES, dtype=float), np.array(rx_cumulative)
+    )
+
+    series = [
+        ExperimentSeries(label=name, x=QUALIFYING_ENTRIES, y=values, unit="ms (normalised)")
+        for name, values in results.items()
+    ]
+    notes = (
+        "HT cannot answer range lookups. NNLS split of RX's cumulative time: "
+        f"traversal {decomposition.traversal_time_ms:.1f} ms, "
+        f"per-hit intersection {decomposition.intersect_time_ms:.1f} ms "
+        f"({'traversal' if decomposition.traversal_dominates else 'intersection'} dominates)."
+    )
+    return ExperimentResult(
+        experiment_id="fig17",
+        title="Cumulative range-lookup time per qualifying entry",
+        x_label="qualifying entries per lookup",
+        series=series,
+        notes=notes,
+        scale=scale.name,
+        device=device.name,
+    )

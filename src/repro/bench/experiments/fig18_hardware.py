@@ -1,0 +1,73 @@
+"""Figure 18 / Table 8 — Three RTX generations, four GPUs.
+
+Runs the standard point-lookup comparison on the four test systems of the
+paper (RTX 2080 Ti, RTX 3090, RTX A6000, RTX 4090), for unsorted and sorted
+lookups.  Performance improves across generations for every index; RX
+improves the most under sorted lookups because the RT-core intersection
+throughput doubles with every generation, while the bandwidth-bound unsorted
+case improves roughly in line with the baselines.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    ExperimentResult,
+    ExperimentSeries,
+    resolve_scale,
+    simulate_lookups,
+)
+from repro.bench.experiments.common import make_standard_indexes, standard_point_workload
+from repro.gpusim.device import DEVICE_PRESETS, RTX_4090
+
+#: Display order of the paper's figure.
+SYSTEMS = ["2080ti", "3090", "4090", "a6000"]
+
+
+def run(scale: str = "small", device=RTX_4090) -> ExperimentResult:
+    """``device`` is ignored: this experiment sweeps all four presets."""
+    scale = resolve_scale(scale)
+    workload = standard_point_workload(scale, seed=181)
+    indexes = make_standard_indexes()
+    for index in indexes.values():
+        index.build(workload.keys, workload.values)
+
+    series = []
+    for sorted_lookups in (False, True):
+        suffix = "sorted" if sorted_lookups else "unsorted"
+        for name, index in indexes.items():
+            ys = []
+            for system in SYSTEMS:
+                spec = DEVICE_PRESETS[system]
+                cost = simulate_lookups(
+                    index, workload, scale, device=spec, sorted_lookups=sorted_lookups
+                )
+                ys.append(cost.time_ms)
+            series.append(
+                ExperimentSeries(
+                    label=f"{name} ({suffix})",
+                    x=[DEVICE_PRESETS[s].name for s in SYSTEMS],
+                    y=ys,
+                    unit="ms",
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig18",
+        title="Impact of the hardware architecture on lookup times",
+        x_label="GPU",
+        series=series,
+        notes="RT-core throughput doubles per generation, so RX gains the most from new hardware.",
+        scale=scale.name,
+        device="all presets",
+    )
+
+
+def improvement_factors(result: ExperimentResult) -> dict[str, float]:
+    """Speed-up of each series from the oldest (2080 Ti) to the newest (4090) GPU."""
+    factors = {}
+    for entry in result.series:
+        by_name = dict(zip(entry.x, entry.y))
+        old = by_name.get("RTX 2080 Ti")
+        new = by_name.get("RTX 4090")
+        if old and new and new > 0:
+            factors[entry.label] = old / new
+    return factors

@@ -1,0 +1,114 @@
+"""Table 4 — Updating the index: refit in place or rebuild from scratch?
+
+Two update workloads permute the key buffer of an RX index built with the
+OptiX update flag: swapping adjacent *buffer positions* moves keys to far-away
+coordinates, swapping rank-adjacent *keys* changes every affected key by ±1.
+The refit time is independent of the number of swaps (the whole buffer is
+passed to the update), rebuilding is ~3x more expensive, and — crucially —
+refitting after many position swaps ruins the BVH and the subsequent lookups,
+whereas key swaps leave lookups unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.bench.harness import (
+    ExperimentResult,
+    ExperimentSeries,
+    resolve_scale,
+    simulate_lookups,
+)
+from repro.core import RXConfig, RXIndex
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import RTX_4090
+from repro.workloads import (
+    dense_shuffled_keys,
+    point_lookups,
+    swap_adjacent_keys,
+    swap_adjacent_positions,
+)
+from repro.workloads.table import SecondaryIndexWorkload
+
+#: Number of swapped pairs, expressed as a fraction of the key count so the
+#: experiment scales with the simulation size (the paper uses 2^4 .. 2^24
+#: swaps on 2^26 keys, i.e. up to a quarter of all keys).
+SWAP_FRACTIONS = [2**-16, 2**-12, 2**-8, 2**-2]
+
+
+def run(scale: str = "small", device=RTX_4090) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    cost_model = CostModel(device)
+    keys = dense_shuffled_keys(scale.sim_keys, seed=61)
+    queries = point_lookups(keys, scale.sim_lookups, seed=62)
+
+    series = []
+    rebuild_lookup_ms = None
+    for workload_name, swapper in (
+        ("swap adjacent positions", swap_adjacent_positions),
+        ("swap adjacent keys", swap_adjacent_keys),
+    ):
+        update_times, lookup_times, totals, xs = [], [], [], []
+        for fraction in SWAP_FRACTIONS:
+            num_swaps = max(int(scale.sim_keys * fraction), 1)
+            config = RXConfig.paper_default().with_updates_enabled()
+            index = RXIndex(config)
+            workload = SecondaryIndexWorkload.from_keys(keys, point_queries=queries)
+            index.build(workload.keys, workload.values)
+
+            updated_keys = swapper(keys, num_swaps, seed=63)
+            outcome = index.update(updated_keys)
+            # Refit work is linear in the number of primitives, so the
+            # sim-scale profile extrapolates to the target key count (the
+            # refit is still a single launch, so launches do not scale).
+            key_factor = scale.target_keys / scale.sim_keys
+            update_ms = 0.0
+            for profile in outcome.profiles:
+                scaled = replace(profile.scaled(key_factor), kernel_launches=profile.kernel_launches)
+                update_ms += cost_model.kernel_cost(scaled).time_ms
+
+            updated_workload = SecondaryIndexWorkload(
+                keys=updated_keys, values=workload.values, point_queries=queries
+            )
+            lookup_ms = simulate_lookups(index, updated_workload, scale, device=device).time_ms
+            xs.append(f"{fraction:.6f}·n")
+            update_times.append(update_ms)
+            lookup_times.append(lookup_ms)
+            totals.append(update_ms + lookup_ms)
+
+        series.append(ExperimentSeries(label=f"{workload_name}: update", x=xs, y=update_times))
+        series.append(ExperimentSeries(label=f"{workload_name}: lookups", x=xs, y=lookup_times))
+        series.append(ExperimentSeries(label=f"{workload_name}: total", x=xs, y=totals))
+
+    # Reference column: rebuilding from scratch instead of refitting.
+    rebuild_config = RXConfig.paper_default()
+    rebuild_index = RXIndex(rebuild_config)
+    workload = SecondaryIndexWorkload.from_keys(keys, point_queries=queries)
+    rebuild_index.build(workload.keys, workload.values)
+    rebuild_ms = sum(
+        cost_model.kernel_cost(p).time_ms
+        for p in rebuild_index.build_profiles(target_keys=scale.target_keys)
+    )
+    rebuild_lookup_ms = simulate_lookups(rebuild_index, workload, scale, device=device).time_ms
+    series.append(
+        ExperimentSeries(
+            label="full rebuild (update / lookups / total)",
+            x=["rebuild"],
+            y=[rebuild_ms],
+            extra={"lookups_ms": rebuild_lookup_ms, "total_ms": rebuild_ms + rebuild_lookup_ms},
+        )
+    )
+
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Update and lookup time when refitting vs rebuilding",
+        x_label="swapped pairs",
+        series=series,
+        notes=(
+            "Refit time is independent of the number of swaps; refitting after many "
+            "position swaps inflates the bounding volumes and ruins lookups, so RX "
+            "should prefer full rebuilds."
+        ),
+        scale=scale.name,
+        device=device.name,
+    )

@@ -1,0 +1,46 @@
+"""Table 5 — Warp occupancy and memory-bandwidth utilisation vs batch size.
+
+For growing lookup batches the paper reports the average number of active
+warps per SM and the fraction of the peak memory bandwidth RX achieves; both
+saturate together around 2^21 lookups, which explains where the throughput of
+Figure 10a flattens.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult, ExperimentSeries, resolve_scale, simulate_lookups
+from repro.bench.experiments.common import log2_label, standard_point_workload
+from repro.core import RXIndex
+from repro.gpusim.device import RTX_4090
+from repro.gpusim.kernel import OccupancyModel
+
+LOOKUP_COUNTS = [2**13, 2**15, 2**17, 2**19, 2**21]
+
+
+def run(scale: str = "small", device=RTX_4090) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    workload = standard_point_workload(scale, seed=81)
+    index = RXIndex()
+    index.build(workload.keys, workload.values)
+    occupancy = OccupancyModel(device)
+
+    warps, bandwidth = [], []
+    for num_lookups in LOOKUP_COUNTS:
+        local = scale.with_targets(target_lookups=num_lookups)
+        cost = simulate_lookups(index, workload, local, device=device)
+        warps.append(cost.lookup_cost.active_warps_per_sm)
+        bandwidth.append(occupancy.bandwidth_fraction(num_lookups) * 100.0)
+
+    xs = [log2_label(m) for m in LOOKUP_COUNTS]
+    return ExperimentResult(
+        experiment_id="table5",
+        title="Active warps per SM and memory-bandwidth utilisation (RX)",
+        x_label="number of lookups",
+        series=[
+            ExperimentSeries(label="active warps per SM", x=xs, y=warps, unit="warps"),
+            ExperimentSeries(label="memory BW", x=xs, y=bandwidth, unit="% of peak"),
+        ],
+        notes="Both quantities saturate together around 2^21 lookups per batch.",
+        scale=scale.name,
+        device=device.name,
+    )

@@ -1,0 +1,40 @@
+"""Table 6 — Memory footprint of every index for 2^26 keys.
+
+Reports the final resident size and the additional overhead needed only
+during construction.  RX pays for representing each key as a triangle: its
+BVH is roughly twice the size of the B+-Tree and needs by far the most
+scratch space while building.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult, ExperimentSeries, resolve_scale
+from repro.bench.experiments.common import make_standard_indexes, standard_point_workload
+from repro.gpusim.device import RTX_4090
+
+
+def run(scale: str = "small", device=RTX_4090) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    workload = standard_point_workload(scale, seed=91)
+    indexes = make_standard_indexes()
+
+    labels, finals, overheads = [], [], []
+    for name, index in indexes.items():
+        index.build(workload.keys, workload.values)
+        footprint = index.memory_footprint(target_keys=scale.target_keys)
+        labels.append(name)
+        finals.append(footprint.final_bytes / 1e9)
+        overheads.append(footprint.build_overhead_bytes / 1e9)
+
+    return ExperimentResult(
+        experiment_id="table6",
+        title=f"Memory footprint for {scale.target_keys} keys",
+        x_label="index",
+        series=[
+            ExperimentSeries(label="final size", x=labels, y=finals, unit="GB"),
+            ExperimentSeries(label="overhead during build", x=labels, y=overheads, unit="GB"),
+        ],
+        notes="RX stores each key as a triangle, roughly doubling the footprint of B+.",
+        scale=scale.name,
+        device=device.name,
+    )

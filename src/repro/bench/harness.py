@@ -1,0 +1,263 @@
+"""Shared plumbing for the per-figure experiment modules.
+
+The harness separates the two halves of every experiment:
+
+* the **functional half** runs an index at a small simulation scale
+  (``Scale.sim_keys`` keys, ``Scale.sim_lookups`` lookups), verifies the
+  results against the NumPy reference, and collects structural statistics;
+* the **costing half** extrapolates those statistics to the paper's scale
+  (``Scale.target_keys`` keys, ``Scale.target_lookups`` lookups) and converts
+  them into simulated milliseconds with the GPU cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import GpuIndex, LookupRun
+from repro.gpusim.costmodel import CostModel, KernelCost
+from repro.gpusim.device import RTX_4090, DeviceSpec
+from repro.gpusim.sorting import DeviceRadixSort
+from repro.workloads.table import SecondaryIndexWorkload
+
+#: Locality bonus granted by sorting a lookup batch (Section 4.4: sorted
+#: lookups cut GPU main-memory accesses by 45–92%).
+SORTED_LOOKUP_LOCALITY = 0.85
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Pairs a functional simulation size with the paper-scale targets."""
+
+    name: str
+    sim_keys: int
+    sim_lookups: int
+    target_keys: int = 2**26
+    target_lookups: int = 2**27
+
+    def with_targets(self, target_keys: int | None = None, target_lookups: int | None = None) -> "Scale":
+        return Scale(
+            name=self.name,
+            sim_keys=self.sim_keys,
+            sim_lookups=self.sim_lookups,
+            target_keys=target_keys if target_keys is not None else self.target_keys,
+            target_lookups=target_lookups if target_lookups is not None else self.target_lookups,
+        )
+
+
+#: Preset simulation scales.  ``tiny`` keeps the full suite fast enough for
+#: CI; ``small`` is the default for benchmarks; ``medium`` tightens the
+#: extrapolation at the cost of longer runs.
+SCALES: dict[str, Scale] = {
+    "tiny": Scale("tiny", sim_keys=2**10, sim_lookups=2**9),
+    "small": Scale("small", sim_keys=2**12, sim_lookups=2**10),
+    "medium": Scale("medium", sim_keys=2**14, sim_lookups=2**12),
+}
+
+
+def resolve_scale(scale: str | Scale) -> Scale:
+    if isinstance(scale, Scale):
+        return scale
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+@dataclass
+class LookupCost:
+    """Simulated cost of one lookup batch (plus optional sorting phase)."""
+
+    run: LookupRun
+    lookup_cost: KernelCost
+    sort_cost: KernelCost | None = None
+
+    @property
+    def time_ms(self) -> float:
+        return self.lookup_cost.time_ms + (self.sort_cost.time_ms if self.sort_cost else 0.0)
+
+    @property
+    def lookup_time_ms(self) -> float:
+        return self.lookup_cost.time_ms
+
+    @property
+    def sort_time_ms(self) -> float:
+        return self.sort_cost.time_ms if self.sort_cost else 0.0
+
+
+@dataclass
+class ExperimentSeries:
+    """One line of a figure / one row group of a table."""
+
+    label: str
+    x: list
+    y: list
+    unit: str = "ms"
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    series: list[ExperimentSeries]
+    notes: str = ""
+    scale: str = "small"
+    device: str = "RTX 4090"
+
+    def series_by_label(self, label: str) -> ExperimentSeries:
+        for entry in self.series:
+            if entry.label == label:
+                return entry
+        raise KeyError(f"no series labelled {label!r} in {self.experiment_id}")
+
+    def to_text(self) -> str:
+        from repro.bench.report import format_table, series_to_rows
+
+        header, rows = series_to_rows(self.x_label, self.series)
+        body = format_table(header, rows)
+        title = f"{self.experiment_id}: {self.title} [{self.device}, scale={self.scale}]"
+        parts = [title, body]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+def _measured_locality(queries: np.ndarray, sorted_lookups: bool) -> float:
+    """Estimate the access locality of a lookup batch.
+
+    Only the submission order is considered here: sorted batches let
+    neighbouring threads walk the same index regions.  Skew-induced locality
+    depends on the target-scale key popularity and is therefore passed in
+    explicitly by the experiments that control it (``locality=...``), rather
+    than being estimated from the small functional sample.
+    """
+    queries = np.asarray(queries)
+    if queries.size == 0:
+        return 0.0
+    return SORTED_LOOKUP_LOCALITY if sorted_lookups else 0.0
+
+
+def zipf_locality(coefficient: float) -> float:
+    """Cache locality produced by a Zipf-skewed lookup distribution.
+
+    Calibrated against Table 7 of the paper: no benefit for uniform lookups,
+    a moderate benefit around a coefficient of 1.0, and almost perfect
+    locality at 2.0.
+    """
+    if coefficient <= 0:
+        return 0.0
+    return float(min(0.99, (coefficient / 2.0) ** 1.2))
+
+
+def simulate_lookups(
+    index: GpuIndex,
+    workload: SecondaryIndexWorkload,
+    scale: Scale,
+    device: DeviceSpec = RTX_4090,
+    kind: str = "point",
+    sorted_lookups: bool = False,
+    num_batches: int = 1,
+    locality: float | None = None,
+    verify: bool = True,
+    value_bytes: int = 4,
+) -> LookupCost:
+    """Run a lookup batch functionally and convert it into simulated cost.
+
+    ``num_batches`` models splitting the target-scale batch into several
+    consecutive kernel launches (Section 4.5); sorting, when requested, adds
+    one radix-sort invocation per batch.
+    """
+    cost_model = CostModel(device)
+
+    if kind == "point":
+        queries = workload.point_queries
+        if sorted_lookups:
+            queries = np.sort(queries)
+        run = index.point_lookup(queries)
+        if verify:
+            expected = workload.reference_point_aggregate()
+            if run.aggregate != expected:
+                raise AssertionError(
+                    f"{index.name} returned aggregate {run.aggregate}, expected {expected}"
+                )
+    elif kind == "range":
+        lowers, uppers = workload.range_lowers, workload.range_uppers
+        if sorted_lookups:
+            order = np.argsort(lowers)
+            lowers, uppers = lowers[order], uppers[order]
+        run = index.range_lookup(lowers, uppers)
+        if verify:
+            expected = workload.reference_range_aggregate()
+            if run.aggregate != expected:
+                raise AssertionError(
+                    f"{index.name} returned aggregate {run.aggregate}, expected {expected}"
+                )
+        queries = lowers
+    else:
+        raise ValueError(f"unknown lookup kind {kind!r}")
+
+    loc = locality if locality is not None else _measured_locality(queries, sorted_lookups)
+    profile = index.lookup_profile(
+        run,
+        target_keys=scale.target_keys,
+        target_lookups=scale.target_lookups,
+        locality=loc,
+        value_bytes=value_bytes,
+    )
+
+    if num_batches > 1:
+        batch_profile = profile.scaled(1.0 / num_batches)
+        batch_cost = cost_model.kernel_cost(batch_profile)
+        total_ms = batch_cost.time_ms * num_batches
+        lookup_cost = KernelCost(
+            profile_name=profile.name,
+            time_ms=total_ms,
+            compute_ms=batch_cost.compute_ms * num_batches,
+            memory_ms=batch_cost.memory_ms * num_batches,
+            rt_ms=batch_cost.rt_ms * num_batches,
+            latency_ms=batch_cost.latency_ms * num_batches,
+            launch_overhead_ms=batch_cost.launch_overhead_ms * num_batches,
+            dram_bytes=batch_cost.dram_bytes * num_batches,
+            l2_hit_rate=batch_cost.l2_hit_rate,
+            active_warps_per_sm=batch_cost.active_warps_per_sm,
+            bandwidth_utilization=batch_cost.bandwidth_utilization,
+            bottleneck=batch_cost.bottleneck,
+        )
+    else:
+        lookup_cost = cost_model.kernel_cost(profile)
+
+    sort_cost = None
+    if sorted_lookups:
+        sorter = DeviceRadixSort(key_bytes=4, value_bytes=0)
+        per_batch_items = max(scale.target_lookups // num_batches, 1)
+        sort_profile = sorter.work_profile(per_batch_items, num_invocations=num_batches)
+        sort_cost = cost_model.kernel_cost(sort_profile)
+
+    return LookupCost(run=run, lookup_cost=lookup_cost, sort_cost=sort_cost)
+
+
+def simulate_build(
+    index: GpuIndex,
+    scale: Scale,
+    device: DeviceSpec = RTX_4090,
+    presorted: bool = False,
+) -> tuple[float, list[KernelCost]]:
+    """Simulated build time (ms) of an already-built index at target scale."""
+    cost_model = CostModel(device)
+    costs = [
+        cost_model.kernel_cost(profile)
+        for profile in index.build_profiles(target_keys=scale.target_keys, presorted=presorted)
+    ]
+    return sum(c.time_ms for c in costs), costs
+
+
+def throughput_lookups_per_second(time_ms: float, num_lookups: int) -> float:
+    """Convert a cumulative batch time into a lookup throughput."""
+    if time_ms <= 0:
+        return 0.0
+    return num_lookups / (time_ms / 1e3)

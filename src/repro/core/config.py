@@ -1,0 +1,178 @@
+"""Configuration of the RX index: the five design dimensions of Section 3.
+
+The defaults encode the *selected configuration* the paper arrives at after
+evaluating every option: 3D key mode with the 23+23+18 decomposition,
+triangle primitives, perpendicular rays for point lookups, offset-origin
+parallel rays for range lookups, BVH compaction enabled, and full rebuilds
+instead of refits for updates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class KeyMode(enum.Enum):
+    """How integer keys are expressed as float32 scene coordinates (Sec 3.2)."""
+
+    NAIVE = "naive"
+    EXTENDED = "extended"
+    THREE_D = "3d"
+
+
+class PrimitiveType(enum.Enum):
+    """Scene primitive used to represent one key (Sec 3.5)."""
+
+    TRIANGLE = "triangle"
+    SPHERE = "sphere"
+    AABB = "aabb"
+
+
+class PointRayMode(enum.Enum):
+    """Ray shape used for point lookups (Sec 3.3, Figure 6)."""
+
+    PERPENDICULAR = "perpendicular"
+    PARALLEL_FROM_OFFSET = "parallel_from_offset"
+    PARALLEL_FROM_ZERO = "parallel_from_zero"
+
+
+class RangeRayMode(enum.Enum):
+    """Ray shape used for range lookups (Sec 3.3, Table 3)."""
+
+    PARALLEL_FROM_OFFSET = "parallel_from_offset"
+    PARALLEL_FROM_ZERO = "parallel_from_zero"
+
+
+class UpdatePolicy(enum.Enum):
+    """How an existing index absorbs key updates (Sec 3.6, Table 4)."""
+
+    REBUILD = "rebuild"
+    REFIT = "refit"
+
+
+@dataclass(frozen=True)
+class KeyDecomposition:
+    """Bit split of a 64-bit key onto the x, y and z axes (Sec 3.4).
+
+    The paper's default assigns the 23 least significant bits to x, the next
+    23 to y and the remaining 18 to z.  Every component must stay within 23
+    bits so the resulting integer coordinate is exactly representable as a
+    float32 together with its ±0.5 gap.
+    """
+
+    x_bits: int = 23
+    y_bits: int = 23
+    z_bits: int = 18
+
+    def __post_init__(self) -> None:
+        for name, bits in (("x", self.x_bits), ("y", self.y_bits), ("z", self.z_bits)):
+            if not 0 <= bits <= 23:
+                raise ValueError(
+                    f"{name}_bits must be in [0, 23] to stay float32-exact, got {bits}"
+                )
+        if self.x_bits == 0:
+            raise ValueError("the x component must receive at least one bit")
+        if self.total_bits > 64:
+            raise ValueError(
+                f"decomposition covers {self.total_bits} bits; at most 64 are allowed"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        return self.x_bits + self.y_bits + self.z_bits
+
+    @property
+    def max_key(self) -> int:
+        """Largest key representable under this decomposition."""
+        if self.total_bits >= 64:
+            return (1 << 64) - 1
+        return (1 << self.total_bits) - 1
+
+    def label(self) -> str:
+        """Human-readable form used in the paper's figures, e.g. ``"23+23+18"``."""
+        return f"{self.x_bits}+{self.y_bits}+{self.z_bits}"
+
+    @staticmethod
+    def from_label(label: str) -> "KeyDecomposition":
+        """Parse a ``"x+y+z"`` label back into a decomposition."""
+        parts = label.split("+")
+        if len(parts) != 3:
+            raise ValueError(f"expected a 'x+y+z' label, got {label!r}")
+        x, y, z = (int(p) for p in parts)
+        return KeyDecomposition(x_bits=x, y_bits=y, z_bits=z)
+
+
+@dataclass
+class RXConfig:
+    """Full configuration of an RX index instance."""
+
+    key_mode: KeyMode = KeyMode.THREE_D
+    primitive: PrimitiveType = PrimitiveType.TRIANGLE
+    point_ray_mode: PointRayMode = PointRayMode.PERPENDICULAR
+    range_ray_mode: RangeRayMode = RangeRayMode.PARALLEL_FROM_OFFSET
+    decomposition: KeyDecomposition = field(default_factory=KeyDecomposition)
+    compaction: bool = True
+    update_policy: UpdatePolicy = UpdatePolicy.REBUILD
+    allow_updates: bool = False
+    #: software-BVH builder knobs (passed through to the rtx substrate)
+    bvh_builder: str = "lbvh"
+    max_leaf_size: int = 4
+    morton_bits: int = 21
+    sphere_radius: float = 0.25
+    #: safety cap for the ray fan-out of wide range lookups in 3D Mode
+    max_rays_per_range: int = 64
+    #: bytes per entry of the projected value column (used for costing)
+    value_bytes: int = 4
+
+    def validate(self) -> None:
+        """Reject configurations the hardware (or float32) cannot express."""
+        if self.key_mode is KeyMode.EXTENDED:
+            if self.primitive is PrimitiveType.SPHERE:
+                raise ValueError(
+                    "Extended Mode cannot use sphere primitives: the fixed "
+                    "radius is not representable between adjacent float keys "
+                    "(Table 1)"
+                )
+            if self.point_ray_mode is PointRayMode.PARALLEL_FROM_OFFSET:
+                raise ValueError(
+                    "Extended Mode does not support offsetting the ray origin "
+                    "(float32 precision); use perpendicular or from-zero rays"
+                )
+            if self.range_ray_mode is RangeRayMode.PARALLEL_FROM_OFFSET:
+                raise ValueError(
+                    "Extended Mode does not support offsetting the ray origin "
+                    "(float32 precision); use from-zero range rays"
+                )
+        if self.compaction and self.allow_updates:
+            raise ValueError(
+                "compaction has no effect on accels built with the update flag; "
+                "disable one of the two (the paper chooses rebuilds + compaction)"
+            )
+        if self.update_policy is UpdatePolicy.REFIT and not self.allow_updates:
+            raise ValueError(
+                "refit updates require allow_updates=True at build time "
+                "(the OptiX update flag must be set during construction)"
+            )
+        if self.max_leaf_size < 1:
+            raise ValueError("max_leaf_size must be positive")
+        if self.max_rays_per_range < 1:
+            raise ValueError("max_rays_per_range must be positive")
+        if self.sphere_radius <= 0 or self.sphere_radius >= 0.5:
+            raise ValueError("sphere_radius must lie in (0, 0.5) to keep gaps")
+        if self.value_bytes not in (4, 8):
+            raise ValueError("value_bytes must be 4 or 8")
+
+    def with_updates_enabled(self) -> "RXConfig":
+        """Copy of this config prepared for refit-style updates."""
+        return replace(
+            self,
+            allow_updates=True,
+            compaction=False,
+            update_policy=UpdatePolicy.REFIT,
+        )
+
+    @staticmethod
+    def paper_default() -> "RXConfig":
+        """The configuration the paper selects for its main evaluation."""
+        return RXConfig()

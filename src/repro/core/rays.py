@@ -1,0 +1,141 @@
+"""Ray construction for point and range lookups (Section 3.3, Table 2).
+
+Three ray shapes are supported:
+
+* **perpendicular** point rays fired along the z axis straight at one key's
+  primitive (origin ``(x, y, z - 0.5)``, direction ``(0, 0, 1)``,
+  ``t in (0, 1)``),
+* **parallel-from-offset** rays fired along the x axis starting just before
+  the lower bound (origin ``(l - gap, y, z)``, ``t in (0, u - l + 2*gap)``),
+* **parallel-from-zero** rays fired along the x axis from the origin of the
+  scene, restricted to the interesting interval with ``tmin``/``tmax``.
+
+All functions return a :class:`repro.rtx.geometry.RayBatch`; ``lookup_ids``
+map rays back to the lookups that spawned them (a single 3D-Mode range lookup
+can fan out into several rays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rtx.geometry import RayBatch
+
+#: Length of a perpendicular point ray: it starts half a unit before the
+#: primitive's plane along z and ends half a unit after it.
+PERPENDICULAR_RAY_LENGTH = 1.0
+
+
+def perpendicular_point_rays(
+    anchors: np.ndarray, lookup_ids: np.ndarray | None = None
+) -> RayBatch:
+    """Point-lookup rays fired perpendicular to the line of primitives."""
+    anchors = np.asarray(anchors, dtype=np.float64).reshape(-1, 3)
+    m = anchors.shape[0]
+    origins = anchors + np.array([0.0, 0.0, -0.5], dtype=np.float64)
+    directions = np.tile(np.array([0.0, 0.0, 1.0], dtype=np.float32), (m, 1))
+    return RayBatch(
+        origins=origins.astype(np.float32),
+        directions=directions,
+        tmin=np.zeros(m, dtype=np.float32),
+        tmax=np.full(m, PERPENDICULAR_RAY_LENGTH, dtype=np.float32),
+        lookup_ids=lookup_ids,
+    )
+
+
+def parallel_rays_from_offset(
+    y: np.ndarray,
+    z: np.ndarray,
+    x_start: np.ndarray,
+    x_end: np.ndarray,
+    lookup_ids: np.ndarray | None = None,
+) -> RayBatch:
+    """Rays along x that originate at ``x_start`` (just before the range).
+
+    ``x_start`` and ``x_end`` are already gap-adjusted world coordinates
+    (e.g. ``l - 0.5`` and ``u + 0.5``); the intersection interval becomes
+    ``t in (0, x_end - x_start)``.
+    """
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    z = np.asarray(z, dtype=np.float64).reshape(-1)
+    x_start = np.asarray(x_start, dtype=np.float64).reshape(-1)
+    x_end = np.asarray(x_end, dtype=np.float64).reshape(-1)
+    m = x_start.shape[0]
+    origins = np.column_stack([x_start, y, z]).astype(np.float32)
+    directions = np.tile(np.array([1.0, 0.0, 0.0], dtype=np.float32), (m, 1))
+    return RayBatch(
+        origins=origins,
+        directions=directions,
+        tmin=np.zeros(m, dtype=np.float32),
+        tmax=(x_end - x_start).astype(np.float32),
+        lookup_ids=lookup_ids,
+    )
+
+
+def parallel_rays_from_zero(
+    y: np.ndarray,
+    z: np.ndarray,
+    x_start: np.ndarray,
+    x_end: np.ndarray,
+    lookup_ids: np.ndarray | None = None,
+) -> RayBatch:
+    """Rays along x that always originate at ``x = 0``.
+
+    The interesting interval is carved out with ``tmin``/``tmax`` instead of
+    moving the origin — the only option available to Extended Mode, whose
+    coordinates cannot be offset without losing precision.
+    """
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    z = np.asarray(z, dtype=np.float64).reshape(-1)
+    x_start = np.asarray(x_start, dtype=np.float64).reshape(-1)
+    x_end = np.asarray(x_end, dtype=np.float64).reshape(-1)
+    m = x_start.shape[0]
+    origins = np.column_stack([np.zeros(m), y, z]).astype(np.float32)
+    directions = np.tile(np.array([1.0, 0.0, 0.0], dtype=np.float32), (m, 1))
+    return RayBatch(
+        origins=origins,
+        directions=directions,
+        tmin=x_start.astype(np.float32),
+        tmax=x_end.astype(np.float32),
+        lookup_ids=lookup_ids,
+    )
+
+
+def expand_multi_row_ranges(
+    row_lo: np.ndarray,
+    row_hi: np.ndarray,
+    max_rays_per_range: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Fan a batch of multi-row range lookups out into one entry per row.
+
+    In 3D Mode a range lookup spanning several (y, z) rows needs one ray per
+    row (Figure 4).  Given the inclusive row bounds of each lookup, returns
+    ``(lookup_ids, rows, is_first_row, is_last_row)`` with one element per
+    generated ray.
+
+    Raises ``ValueError`` when any lookup would need more than
+    ``max_rays_per_range`` rays — the caller should either widen the x
+    component of the decomposition or split the range.
+    """
+    row_lo = np.asarray(row_lo, dtype=np.uint64)
+    row_hi = np.asarray(row_hi, dtype=np.uint64)
+    if row_lo.shape != row_hi.shape:
+        raise ValueError("row_lo and row_hi must have the same shape")
+    if np.any(row_hi < row_lo):
+        raise ValueError("row_hi must be >= row_lo for every lookup")
+    counts = (row_hi - row_lo + np.uint64(1)).astype(np.int64)
+    if np.any(counts > max_rays_per_range):
+        worst = int(counts.max())
+        raise ValueError(
+            f"a range lookup spans {worst} rows, exceeding the cap of "
+            f"{max_rays_per_range} rays per range; increase x_bits in the "
+            "key decomposition or raise max_rays_per_range"
+        )
+    total = int(counts.sum())
+    lookup_ids = np.repeat(np.arange(row_lo.shape[0], dtype=np.int64), counts)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    within = np.arange(total, dtype=np.int64) - offsets
+    rows = row_lo[lookup_ids] + within.astype(np.uint64)
+    is_first = within == 0
+    is_last = within == (counts[lookup_ids] - 1)
+    return lookup_ids, rows, is_first, is_last

@@ -1,0 +1,64 @@
+"""Helpers for turning raw hit records into lookup results.
+
+A pipeline launch yields a flat list of (ray, primitive) hits.  The paper's
+evaluation needs three derived quantities per lookup batch:
+
+* the rowID of the first match per lookup — with a reserved *miss value* when
+  nothing matched,
+* the number of matches per lookup (duplicates and range lookups return more
+  than one rowID),
+* the sum of the values associated with every matching rowID (the end-to-end
+  aggregate the paper computes after the index probe).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import MISS_SENTINEL
+from repro.rtx.traversal import HitRecords
+
+
+def hits_per_lookup(hits: HitRecords, num_lookups: int) -> np.ndarray:
+    """Number of reported matches for each of ``num_lookups`` lookups."""
+    counts = np.zeros(num_lookups, dtype=np.int64)
+    if hits.count:
+        np.add.at(counts, hits.lookup_ids, 1)
+    return counts
+
+
+def first_row_per_lookup(hits: HitRecords, num_lookups: int) -> np.ndarray:
+    """RowID of the first match per lookup, ``MISS_SENTINEL`` where none."""
+    result = np.full(num_lookups, MISS_SENTINEL, dtype=np.uint64)
+    if hits.count:
+        # Process hits in reverse so the first occurrence wins.
+        order = np.argsort(hits.lookup_ids, kind="stable")[::-1]
+        result[hits.lookup_ids[order]] = hits.prim_indices[order].astype(np.uint64)
+    return result
+
+
+def aggregate_values(hits: HitRecords, values: np.ndarray) -> int:
+    """Sum of ``values[rowID]`` over every reported hit."""
+    if hits.count == 0:
+        return 0
+    return int(values[hits.prim_indices].sum(dtype=np.uint64))
+
+
+def collect_row_ids(hits: HitRecords, num_lookups: int) -> list[np.ndarray]:
+    """Materialise the full list of matching rowIDs per lookup.
+
+    Only used by tests and examples; the benchmark harness sticks to the
+    aggregate to avoid the materialisation cost, like the paper does.
+    """
+    row_lists: list[np.ndarray] = [np.empty(0, dtype=np.uint64) for _ in range(num_lookups)]
+    if hits.count == 0:
+        return row_lists
+    order = np.argsort(hits.lookup_ids, kind="stable")
+    sorted_lookups = hits.lookup_ids[order]
+    sorted_prims = hits.prim_indices[order].astype(np.uint64)
+    boundaries = np.flatnonzero(np.diff(sorted_lookups)) + 1
+    chunks = np.split(sorted_prims, boundaries)
+    chunk_ids = sorted_lookups[np.concatenate([[0], boundaries])] if sorted_lookups.size else []
+    for lookup_id, chunk in zip(chunk_ids, chunks):
+        row_lists[int(lookup_id)] = chunk
+    return row_lists

@@ -1,0 +1,435 @@
+"""RXIndex: the raytracing-backed secondary index (the paper's RX).
+
+Build path (Section 2.1): every key of the indexed column is converted into a
+primitive anchored at coordinates derived from the key, the primitive's
+position in the buffer is its rowID, and ``accel_build`` turns the buffer
+into a BVH (optionally compacted).
+
+Lookup path (Section 2.2): each lookup becomes one or more rays; the
+traversal reports every primitive the ray intersects, whose buffer offsets
+are the matching rowIDs; an any-hit style aggregation sums the associated
+values from the projected column.
+
+The class implements the common :class:`repro.baselines.base.GpuIndex`
+interface so the benchmark harness can pit it against the traditional GPU
+indexes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import (
+    BuildResult,
+    GpuIndex,
+    LookupRun,
+    MemoryFootprint,
+)
+from repro.core.config import (
+    PointRayMode,
+    PrimitiveType,
+    RangeRayMode,
+    RXConfig,
+    UpdatePolicy,
+)
+from repro.core.keycodec import make_codec
+from repro.core.results import (
+    aggregate_values,
+    collect_row_ids,
+    first_row_per_lookup,
+    hits_per_lookup,
+)
+from repro.gpusim.counters import WorkProfile
+from repro.rtx.build_input import BuildFlags, build_input_for_points
+from repro.rtx.bvh import BvhBuildOptions
+from repro.rtx.memory import accel_memory_estimate
+from repro.rtx.pipeline import (
+    DeviceContext,
+    Pipeline,
+    accel_build,
+    accel_compact,
+    accel_update,
+)
+
+#: Instructions the programmable pipeline stages execute per lookup / per hit.
+#: The fixed-function BVH traversal runs on the RT cores and does not count
+#: as SM instructions — this is why RX executes roughly an order of magnitude
+#: fewer instructions per lookup than the software tree (Table 7).
+_INSTR_PER_LOOKUP = 12.0
+_INSTR_PER_RAY = 4.0
+_INSTR_PER_HIT = 6.0
+
+#: Bytes per primitive fetched for a hardware intersection test (the triangle
+#: data is stored inside the accel in a compressed layout).
+_PRIM_TEST_BYTES = {"triangle": 36, "sphere": 16, "aabb": 24}
+
+#: Fraction of the hit-path traversal work a missing ray still performs
+#: (calibrated to the paper's measured -63% memory traffic at hit rate 0).
+MISS_TRAVERSAL_FACTOR = 0.35
+
+
+@dataclass
+class UpdateOutcome:
+    """Result of applying an update batch to an existing RX index."""
+
+    policy: UpdatePolicy
+    profiles: list[WorkProfile]
+    surface_area_growth: float = 1.0
+
+
+class RXIndex(GpuIndex):
+    """Hardware-raytracing index over a 64-bit integer column."""
+
+    name = "RX"
+    supports_range_lookups = True
+    supports_duplicates = True
+    max_key_bits = 64
+
+    def __init__(self, config: RXConfig | None = None, context: DeviceContext | None = None):
+        super().__init__()
+        self.config = config or RXConfig.paper_default()
+        self.config.validate()
+        self.codec = make_codec(self.config.key_mode, self.config.decomposition)
+        self.context = context or DeviceContext()
+        self._accel = None
+        self._pipeline: Pipeline | None = None
+        self._primitive_handle: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # build
+    # ------------------------------------------------------------------ #
+
+    def _build_flags(self) -> BuildFlags:
+        flags = BuildFlags.NONE
+        if self.config.compaction:
+            flags |= BuildFlags.ALLOW_COMPACTION
+        if self.config.allow_updates:
+            flags |= BuildFlags.ALLOW_UPDATE
+        return flags
+
+    def _bvh_options(self) -> BvhBuildOptions:
+        return BvhBuildOptions(
+            builder=self.config.bvh_builder,
+            max_leaf_size=self.config.max_leaf_size,
+            morton_bits=self.config.morton_bits,
+        )
+
+    def _make_build_input(self, keys: np.ndarray):
+        points, x_half_extent = self.codec.encode_points(keys)
+        return build_input_for_points(
+            self.config.primitive.value,
+            points,
+            half_extent=0.5,
+            x_half_extent=x_half_extent,
+            sphere_radius=self.config.sphere_radius,
+        )
+
+    def build(self, keys: np.ndarray, values: np.ndarray | None = None) -> BuildResult:
+        keys = np.asarray(keys, dtype=np.uint64)
+        self.codec.validate_keys(keys)
+        self._store_column(keys, values, key_bits=64)
+
+        if self._accel is not None:
+            # Rebuilding replaces the previous accel; release its allocation
+            # so the memory tracker reflects the swap.
+            self.context.memory.free(self._accel.memory_handle)
+            self._accel = None
+
+        build_input = self._make_build_input(self.keys)
+        # The primitive buffer only needs to be resident during the build:
+        # afterwards the accel embeds the geometry.
+        self._primitive_handle = self.context.memory.alloc(
+            "rx_primitive_buffer", build_input.primitive_bytes, temporary=True
+        )
+        self._accel = accel_build(
+            self.context,
+            build_input,
+            flags=self._build_flags(),
+            build_options=self._bvh_options(),
+        )
+        compaction_stats = {}
+        if self.config.compaction:
+            result = accel_compact(self.context, self._accel)
+            compaction_stats = {
+                "compaction_saved_bytes": result.saved_bytes,
+                "compaction_reduction": result.reduction_fraction,
+            }
+        self.context.memory.free(self._primitive_handle)
+        self._primitive_handle = None
+
+        self._pipeline = Pipeline(self.context, self._accel)
+        bvh = self._accel.bvh
+        memory = self.memory_footprint()
+        self._build_result = BuildResult(
+            num_keys=self.num_keys,
+            key_bits=64,
+            memory=memory,
+            stats={
+                "primitive": self.config.primitive.value,
+                "key_mode": self.config.key_mode.value,
+                "builder": self.config.bvh_builder,
+                "bvh_nodes": bvh.node_count,
+                "bvh_depth": bvh.depth(),
+                "bvh_leaves": bvh.leaf_count,
+                "compacted": self._accel.compacted,
+                **compaction_stats,
+            },
+        )
+        return self._build_result
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+
+    def _require_built(self) -> Pipeline:
+        if self._pipeline is None:
+            raise RuntimeError("RXIndex.build() must be called before lookups")
+        return self._pipeline
+
+    def _run_to_lookup(self, launch, num_lookups: int, kind: str) -> LookupRun:
+        hits = launch.hits
+        counters = launch.counters
+        result_rows = first_row_per_lookup(hits, num_lookups)
+        per_lookup = hits_per_lookup(hits, num_lookups)
+        aggregate = aggregate_values(hits, self.values)
+        rays = max(launch.num_rays, 1)
+        return LookupRun(
+            kind=kind,
+            num_lookups=num_lookups,
+            result_rows=result_rows,
+            hits_per_lookup=per_lookup,
+            aggregate=aggregate,
+            stats={
+                "rays_per_lookup": launch.num_rays / max(num_lookups, 1),
+                "node_visits_per_ray": counters.node_visits / rays,
+                "box_tests_per_ray": counters.box_tests / rays,
+                "prim_tests_per_ray": counters.prim_tests / rays,
+                "node_bytes_per_ray": counters.node_bytes_read / rays,
+                "prim_bytes_per_ray": counters.prim_bytes_read / rays,
+                "rays_without_hits": counters.rays_without_hits,
+                "traversal_rounds": counters.traversal_rounds,
+                "total_node_visits": counters.node_visits,
+                "total_prim_tests": counters.prim_tests,
+            },
+        )
+
+    def point_lookup(self, queries: np.ndarray) -> LookupRun:
+        pipeline = self._require_built()
+        queries = np.asarray(queries, dtype=np.uint64)
+        rays = self.codec.point_ray_batch(queries, self.config.point_ray_mode)
+        launch = pipeline.launch(rays, num_lookups=queries.shape[0])
+        return self._run_to_lookup(launch, queries.shape[0], kind="point")
+
+    def range_lookup(self, lowers: np.ndarray, uppers: np.ndarray) -> LookupRun:
+        pipeline = self._require_built()
+        lowers = np.asarray(lowers, dtype=np.uint64)
+        uppers = np.asarray(uppers, dtype=np.uint64)
+        if lowers.shape != uppers.shape:
+            raise ValueError("lowers and uppers must have the same shape")
+        rays = self.codec.range_ray_batch(
+            lowers,
+            uppers,
+            self.config.range_ray_mode,
+            max_rays_per_range=self.config.max_rays_per_range,
+        )
+        launch = pipeline.launch(rays, num_lookups=lowers.shape[0])
+        return self._run_to_lookup(launch, lowers.shape[0], kind="range")
+
+    def collect_point_matches(self, queries: np.ndarray) -> list[np.ndarray]:
+        """Materialise all matching rowIDs per query (example/demo helper)."""
+        pipeline = self._require_built()
+        queries = np.asarray(queries, dtype=np.uint64)
+        rays = self.codec.point_ray_batch(queries, self.config.point_ray_mode)
+        launch = pipeline.launch(rays, num_lookups=queries.shape[0])
+        return collect_row_ids(launch.hits, queries.shape[0])
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def update(self, new_keys: np.ndarray, new_values: np.ndarray | None = None) -> UpdateOutcome:
+        """Replace the key column and bring the index up to date.
+
+        ``UpdatePolicy.REBUILD`` constructs a fresh accel; ``REFIT`` keeps
+        the tree topology and only adjusts the bounding volumes (requires the
+        index to have been built with updates enabled).  The number of keys
+        must stay the same under REFIT, matching the OptiX restriction.
+        """
+        new_keys = np.asarray(new_keys, dtype=np.uint64)
+        self.codec.validate_keys(new_keys)
+        if self._accel is None:
+            raise RuntimeError("RXIndex.build() must be called before update()")
+        if new_values is None:
+            # Updates permute the key buffer; the projected value column stays
+            # associated with the (unchanged) rowIDs.
+            new_values = self.values
+
+        if self.config.update_policy is UpdatePolicy.REBUILD:
+            self.build(new_keys, new_values)
+            return UpdateOutcome(
+                policy=UpdatePolicy.REBUILD,
+                profiles=self.build_profiles(),
+            )
+
+        if new_keys.shape[0] != self.num_keys:
+            raise ValueError("refit updates cannot add or remove keys")
+        self._store_column(new_keys, new_values, key_bits=64)
+        build_input = self._make_build_input(self.keys)
+        refit = accel_update(self.context, self._accel, build_input)
+        self._pipeline = Pipeline(self.context, self._accel)
+        profile = WorkProfile(
+            name="RX refit",
+            threads=self.num_keys,
+            instructions=self.num_keys * 18.0,
+            # The refit streams the primitive buffer and rewrites every node
+            # bottom-up, touching temporary update memory along the way.
+            bytes_accessed=2.5 * (refit.bytes_read + refit.bytes_written),
+            working_set_bytes=self._accel.size_bytes,
+            kernel_launches=1,
+            # Refits stream the whole structure through DRAM: there is no
+            # reuse for the cache to exploit.
+            dram_bytes_min=2.5 * (refit.bytes_read + refit.bytes_written),
+        )
+        return UpdateOutcome(
+            policy=UpdatePolicy.REFIT,
+            profiles=[profile],
+            surface_area_growth=refit.surface_area_growth,
+        )
+
+    # ------------------------------------------------------------------ #
+    # costing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def accel(self):
+        if self._accel is None:
+            raise RuntimeError("RXIndex.build() must be called first")
+        return self._accel
+
+    def memory_footprint(self, target_keys: int | None = None) -> MemoryFootprint:
+        n = self.num_keys if target_keys is None else target_keys
+        estimate = accel_memory_estimate(self.config.primitive.value, n)
+        final = estimate["compacted"] if self.config.compaction else estimate["uncompacted"]
+        # The triangle/sphere/AABB input buffer is derived from the key
+        # column the caller already owns, so only the accel's own scratch
+        # space counts as build overhead (Table 6).
+        peak = estimate["peak_during_build"]
+        return MemoryFootprint(final_bytes=final, build_peak_bytes=peak)
+
+    def build_profiles(
+        self, target_keys: int | None = None, presorted: bool = False
+    ) -> list[WorkProfile]:
+        n = self.num_keys if target_keys is None else target_keys
+        estimate = accel_memory_estimate(self.config.primitive.value, n)
+        prim_bytes = {"triangle": 36, "sphere": 12, "aabb": 24}[self.config.primitive.value]
+        # The BVH build makes several passes: primitive AABB computation,
+        # Morton coding + sort, hierarchy emission, bound fitting, and
+        # (optionally) compaction.  This is what makes RX the most expensive
+        # index to construct (Figure 10c) even though it scales linearly.
+        # Spheres need an extra software pass to derive their bounds, AABBs
+        # skip the vertex-to-bounds conversion entirely (Figure 7b).
+        pass_factor = {"triangle": 1.0, "sphere": 1.4, "aabb": 0.85}[self.config.primitive.value]
+        passes_bytes = (
+            n * prim_bytes * 2.0                      # read primitives, write AABBs
+            + n * 12.0 * 2.0 * 4.0                    # Morton key/value sort passes
+            + estimate["uncompacted"] * 3.0 * pass_factor  # hierarchy emission + fitting
+            + (estimate["compacted"] if self.config.compaction else 0)
+        )
+        profiles = [
+            WorkProfile(
+                name="RX accel build",
+                threads=n,
+                instructions=n * 320.0,
+                bytes_accessed=passes_bytes,
+                working_set_bytes=estimate["peak_during_build"],
+                serial_depth=4.0,
+                kernel_launches=6,
+                dram_bytes_min=passes_bytes * 0.8,
+            )
+        ]
+        return profiles
+
+    def _node_visit_scale(self, target_keys: int | None) -> float:
+        """Extra BVH levels per ray when extrapolating to ``target_keys``."""
+        if not target_keys or target_keys <= self.num_keys:
+            return 0.0
+        return math.log2(target_keys / self.num_keys)
+
+    def lookup_profile(
+        self,
+        run: LookupRun,
+        target_keys: int | None = None,
+        target_lookups: int | None = None,
+        locality: float = 0.0,
+        value_bytes: int | None = None,
+    ) -> WorkProfile:
+        value_bytes = value_bytes if value_bytes is not None else self.config.value_bytes
+        m = run.num_lookups if target_lookups is None else target_lookups
+        lookup_scale = self._scale_lookups(run.num_lookups, target_lookups)
+
+        rays_per_lookup = run.stats.get("rays_per_lookup", 1.0)
+        node_visits = run.stats.get("node_visits_per_ray", 1.0)
+        prim_tests = run.stats.get("prim_tests_per_ray", 1.0)
+        extra_levels = self._node_visit_scale(target_keys)
+        node_visits += extra_levels
+        # Rays that miss every primitive abort their traversal early: the
+        # quantised hardware BVH excludes them high up in the tree, which the
+        # paper measures as a -63% drop in memory traffic at a hit rate of
+        # zero.  Discount the traversal work of the measured miss fraction
+        # accordingly.
+        rays_measured = max(run.num_lookups * rays_per_lookup, 1.0)
+        miss_fraction = min(run.stats.get("rays_without_hits", 0.0) / rays_measured, 1.0)
+        traversal_discount = 1.0 - miss_fraction * (1.0 - MISS_TRAVERSAL_FACTOR)
+        node_visits *= traversal_discount
+        prim_tests *= traversal_discount
+        node_bytes_per_visit = self.accel.bvh.node_bytes()
+        prim_bytes = _PRIM_TEST_BYTES[self.config.primitive.value]
+
+        hits = run.total_hits * lookup_scale
+        rays = m * rays_per_lookup
+
+        bytes_accessed = (
+            rays * (node_visits * node_bytes_per_visit + prim_tests * prim_bytes)
+            + m * 8.0
+            + hits * value_bytes
+        )
+        rt_tests = rays * (node_visits + prim_tests)
+        instructions = (
+            m * _INSTR_PER_LOOKUP + rays * _INSTR_PER_RAY + hits * _INSTR_PER_HIT
+        )
+        # AABB (and sphere) primitives call a software intersection program,
+        # shifting work from the RT cores back onto the SMs and fetching the
+        # candidate data through the regular (less efficient) load path
+        # (Figure 7a).
+        if self.config.primitive is not PrimitiveType.TRIANGLE:
+            instructions += rays * prim_tests * 25.0
+            bytes_accessed += rays * prim_tests * prim_bytes * 1.5
+            rt_tests = rays * node_visits
+
+        accel_bytes = accel_memory_estimate(
+            self.config.primitive.value,
+            self.num_keys if target_keys is None else target_keys,
+        )["compacted" if self.config.compaction else "uncompacted"]
+        n_values = (self.num_keys if target_keys is None else target_keys) * value_bytes
+
+        return WorkProfile(
+            name="RX lookup",
+            threads=int(m),
+            instructions=instructions,
+            bytes_accessed=bytes_accessed,
+            working_set_bytes=accel_bytes + n_values,
+            serial_depth=2.0,
+            rt_tests=rt_tests,
+            hot_fraction=0.55,
+            kernel_launches=1,
+            locality=locality,
+            dram_bytes_min=m * 12.0,
+            metadata={
+                "rays_per_lookup": rays_per_lookup,
+                "node_visits_per_ray": node_visits,
+                "prim_tests_per_ray": prim_tests,
+            },
+        )

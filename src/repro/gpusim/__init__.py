@@ -1,0 +1,42 @@
+"""Analytic GPU execution model.
+
+The functional layer (:mod:`repro.rtx`, :mod:`repro.baselines`) produces exact
+results plus *work counters* (instructions, bytes touched, dependent memory
+accesses, RT-core intersection tests).  This subpackage converts those
+counters into simulated kernel times for a particular GPU, using a
+roofline-style model:
+
+``time = max(compute, memory bandwidth, RT-core throughput, latency chain)``
+
+per kernel, plus per-launch overheads.  Device presets mirror the four test
+systems of Table 8 in the paper (RTX 2080 Ti, RTX 3090, RTX A6000, RTX 4090).
+"""
+
+from repro.gpusim.cache import CacheModel
+from repro.gpusim.costmodel import CostModel, KernelCost
+from repro.gpusim.counters import WorkProfile
+from repro.gpusim.device import (
+    DEVICE_PRESETS,
+    RTX_2080TI,
+    RTX_3090,
+    RTX_4090,
+    RTX_A6000,
+    DeviceSpec,
+)
+from repro.gpusim.kernel import OccupancyModel
+from repro.gpusim.sorting import DeviceRadixSort
+
+__all__ = [
+    "CacheModel",
+    "CostModel",
+    "DeviceRadixSort",
+    "DeviceSpec",
+    "DEVICE_PRESETS",
+    "KernelCost",
+    "OccupancyModel",
+    "RTX_2080TI",
+    "RTX_3090",
+    "RTX_4090",
+    "RTX_A6000",
+    "WorkProfile",
+]

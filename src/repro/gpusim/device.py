@@ -1,0 +1,154 @@
+"""GPU device specifications.
+
+The presets correspond to the four test systems of Table 8 in the paper,
+spanning three RTX generations (Turing, Ampere, Ada Lovelace).  Only the
+attributes the cost model needs are included; the RT-core intersection
+throughput doubles with every generation, as stated by NVIDIA's architecture
+whitepapers and quoted in Section 4.10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU.
+
+    Attributes
+    ----------
+    name, architecture:
+        Marketing name and architecture family ("Turing", "Ampere", "Ada").
+    sm_count:
+        Number of streaming multiprocessors.
+    max_warps_per_sm:
+        Warps one SM can keep in flight for the raytracing pipeline (the
+        paper measures 16 for RX on the RTX 4090).
+    clock_ghz:
+        Sustained SM clock.
+    dram_bandwidth_gbs:
+        Peak device-memory bandwidth in GB/s.
+    l2_size_bytes:
+        Size of the L2 cache.
+    rt_core_count:
+        Number of raytracing cores.
+    rt_core_generation:
+        1 (Turing), 2 (Ampere), 3 (Ada); intersection throughput per core
+        doubles each generation.
+    vram_bytes:
+        Total device memory.
+    mem_latency_ns:
+        Average DRAM access latency (used for dependent-access chains).
+    kernel_launch_overhead_us:
+        Host-side cost of launching one kernel / one OptiX pipeline.
+    """
+
+    name: str
+    architecture: str
+    sm_count: int
+    max_warps_per_sm: int
+    clock_ghz: float
+    dram_bandwidth_gbs: float
+    l2_size_bytes: int
+    rt_core_count: int
+    rt_core_generation: int
+    vram_bytes: int
+    mem_latency_ns: float = 480.0
+    kernel_launch_overhead_us: float = 6.0
+    instructions_per_clock_per_sm: float = 64.0
+
+    @property
+    def threads_in_flight(self) -> int:
+        """Maximum resident threads across the whole device."""
+        return self.sm_count * self.max_warps_per_sm * 32
+
+    @property
+    def rt_tests_per_second(self) -> float:
+        """Aggregate ray/box + ray/triangle test throughput of the RT cores.
+
+        Calibrated to ~1 test per RT core per clock on Turing, doubling per
+        generation (NVIDIA quotes 2x ray/triangle throughput per generation).
+        """
+        per_core_per_clock = 1.0 * (2 ** (self.rt_core_generation - 1))
+        return self.rt_core_count * per_core_per_clock * self.clock_ghz * 1e9
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Aggregate scalar instruction throughput of the SMs."""
+        return self.sm_count * self.instructions_per_clock_per_sm * self.clock_ghz * 1e9
+
+    @property
+    def dram_bandwidth_bytes_per_s(self) -> float:
+        return self.dram_bandwidth_gbs * 1e9
+
+
+RTX_4090 = DeviceSpec(
+    name="RTX 4090",
+    architecture="Ada Lovelace",
+    sm_count=128,
+    max_warps_per_sm=16,
+    clock_ghz=2.52,
+    dram_bandwidth_gbs=1008.0,
+    l2_size_bytes=72 * 1024 * 1024,
+    rt_core_count=128,
+    rt_core_generation=3,
+    vram_bytes=24 * 1024**3,
+)
+
+RTX_A6000 = DeviceSpec(
+    name="RTX A6000",
+    architecture="Ampere",
+    sm_count=84,
+    max_warps_per_sm=16,
+    clock_ghz=1.80,
+    dram_bandwidth_gbs=768.0,
+    l2_size_bytes=6 * 1024 * 1024,
+    rt_core_count=84,
+    rt_core_generation=2,
+    vram_bytes=48 * 1024**3,
+)
+
+RTX_3090 = DeviceSpec(
+    name="RTX 3090",
+    architecture="Ampere",
+    sm_count=82,
+    max_warps_per_sm=16,
+    clock_ghz=1.70,
+    dram_bandwidth_gbs=936.0,
+    l2_size_bytes=6 * 1024 * 1024,
+    rt_core_count=82,
+    rt_core_generation=2,
+    vram_bytes=24 * 1024**3,
+)
+
+RTX_2080TI = DeviceSpec(
+    name="RTX 2080 Ti",
+    architecture="Turing",
+    sm_count=68,
+    max_warps_per_sm=16,
+    clock_ghz=1.55,
+    dram_bandwidth_gbs=616.0,
+    l2_size_bytes=5632 * 1024,
+    rt_core_count=68,
+    rt_core_generation=1,
+    vram_bytes=11 * 1024**3,
+)
+
+#: Presets keyed by short name; ``"4090"`` is the paper's primary test system.
+DEVICE_PRESETS: dict[str, DeviceSpec] = {
+    "4090": RTX_4090,
+    "a6000": RTX_A6000,
+    "3090": RTX_3090,
+    "2080ti": RTX_2080TI,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device preset by short name (case-insensitive)."""
+    key = name.lower().replace("rtx", "").replace(" ", "").replace("_", "")
+    if key not in DEVICE_PRESETS:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(DEVICE_PRESETS)}"
+        )
+    return DEVICE_PRESETS[key]

@@ -1,0 +1,82 @@
+"""Kernel occupancy and launch-overhead model.
+
+Reproduces the saturation behaviour the paper analyses in Section 4.2
+(Table 5): small lookup batches cannot fill the GPU — fewer than the maximum
+16 warps are resident per SM, memory latencies cannot be hidden, and the
+achieved memory bandwidth stays well below peak.  Batches beyond ~2^21
+lookups saturate both warp slots and bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+
+
+@dataclass
+class OccupancyModel:
+    """Maps a batch size (threads) to occupancy and bandwidth efficiency."""
+
+    device: DeviceSpec
+    #: Bandwidth utilisation achievable at full occupancy (Table 5 measures
+    #: ~79% of peak for the largest batches).
+    max_bandwidth_fraction: float = 0.80
+    #: Bandwidth utilisation floor for tiny batches.
+    min_bandwidth_fraction: float = 0.18
+
+    def active_warps_per_sm(self, threads: int) -> float:
+        """Average number of resident warps per SM for a batch of ``threads``.
+
+        Threads are distributed over all SMs in warps of 32; per SM at most
+        ``max_warps_per_sm`` can be resident.  The asymptotic approach to the
+        maximum mirrors the measured values of Table 5 (e.g. ~14.25 active
+        warps for 2^21 lookups on 128 SMs).
+        """
+        if threads <= 0:
+            return 0.0
+        warps_total = threads / 32.0
+        warps_per_sm = warps_total / self.device.sm_count
+        max_warps = float(self.device.max_warps_per_sm)
+        # Scheduling inefficiency: some warps finish early, so the average
+        # resident count approaches the limit asymptotically.
+        return max_warps * (1.0 - pow(2.718281828, -warps_per_sm / (max_warps * 0.55)))
+
+    def occupancy(self, threads: int) -> float:
+        """Occupancy in [0, 1]: fraction of the maximum resident warps."""
+        if threads <= 0:
+            return 0.0
+        return self.active_warps_per_sm(threads) / self.device.max_warps_per_sm
+
+    def bandwidth_fraction(self, threads: int) -> float:
+        """Achievable fraction of peak DRAM bandwidth for the batch size."""
+        occ = self.occupancy(threads)
+        return (
+            self.min_bandwidth_fraction
+            + (self.max_bandwidth_fraction - self.min_bandwidth_fraction) * occ
+        )
+
+    def launch_overhead_ms(self, kernel_launches: int) -> float:
+        """Host-side launch overhead for ``kernel_launches`` launches."""
+        return kernel_launches * self.device.kernel_launch_overhead_us / 1000.0
+
+    def latency_bound_ms(self, threads: int, serial_depth: float) -> float:
+        """Time needed to cover each thread's dependent-load chain.
+
+        Each thread performs ``serial_depth`` dependent memory accesses of
+        ``mem_latency_ns`` each.  The device can keep ``threads_in_flight``
+        threads resident, so the chains of successive thread waves execute
+        back to back while memory latency within a wave is only hidden by
+        other warps up to the occupancy limit.
+        """
+        if threads <= 0 or serial_depth <= 0:
+            return 0.0
+        waves = max(threads / self.device.threads_in_flight, 1.0)
+        chain_ns = serial_depth * self.device.mem_latency_ns
+        # Dependent random loads overlap poorly even at full occupancy: the
+        # next address is only known once the previous load returned, so the
+        # warp scheduler can hide only a fraction of each chain step.  This is
+        # what makes the binary-search baseline latency-bound (Section 4.2).
+        occ = max(self.occupancy(threads), 0.05)
+        hiding = 0.15 + 0.20 * occ
+        return waves * chain_ns / hiding / 1e6

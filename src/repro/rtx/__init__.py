@@ -1,0 +1,68 @@
+"""Simulated NVIDIA OptiX / RT-core substrate.
+
+This subpackage re-implements, in pure Python + NumPy, the parts of the
+OptiX 7 raytracing stack that the RTIndeX paper relies on:
+
+* float32 coordinate handling (:mod:`repro.rtx.float32`),
+* geometric primitives and intersection tests (:mod:`repro.rtx.geometry`),
+* OptiX-style acceleration-structure build inputs (:mod:`repro.rtx.build_input`),
+* bounding volume hierarchies with SAH and LBVH builders (:mod:`repro.rtx.bvh`,
+  :mod:`repro.rtx.morton`),
+* compaction and refitting (:mod:`repro.rtx.compaction`, :mod:`repro.rtx.refit`),
+* the traversal engine with hardware-style counters (:mod:`repro.rtx.traversal`),
+* a programmable pipeline mirroring ``optixLaunch`` (:mod:`repro.rtx.pipeline`),
+* device memory accounting (:mod:`repro.rtx.memory`).
+
+The functional behaviour (which primitives a ray hits, within which
+``[tmin, tmax]`` interval) is exact; the performance behaviour is exposed as
+counters that the :mod:`repro.gpusim` cost model converts into simulated
+milliseconds.
+"""
+
+from repro.rtx.build_input import (
+    AabbBuildInput,
+    BuildFlags,
+    SphereBuildInput,
+    TriangleBuildInput,
+)
+from repro.rtx.bvh import Bvh, BvhBuildOptions, build_bvh
+from repro.rtx.compaction import compact_accel
+from repro.rtx.geometry import AabbBuffer, RayBatch, SphereBuffer, TriangleBuffer
+from repro.rtx.memory import DeviceMemoryTracker
+from repro.rtx.pipeline import (
+    DeviceContext,
+    GeometryAccel,
+    LaunchResult,
+    Pipeline,
+    accel_build,
+    accel_compact,
+    accel_update,
+)
+from repro.rtx.refit import refit_accel
+from repro.rtx.traversal import TraversalCounters, TraversalEngine
+
+__all__ = [
+    "AabbBuffer",
+    "AabbBuildInput",
+    "BuildFlags",
+    "Bvh",
+    "BvhBuildOptions",
+    "DeviceContext",
+    "DeviceMemoryTracker",
+    "GeometryAccel",
+    "LaunchResult",
+    "Pipeline",
+    "RayBatch",
+    "SphereBuffer",
+    "SphereBuildInput",
+    "TraversalCounters",
+    "TraversalEngine",
+    "TriangleBuffer",
+    "TriangleBuildInput",
+    "accel_build",
+    "accel_compact",
+    "accel_update",
+    "build_bvh",
+    "compact_accel",
+    "refit_accel",
+]

@@ -1,0 +1,424 @@
+"""Bounding volume hierarchy construction.
+
+The BVH is the index structure at the heart of the paper: OptiX builds one
+over the primitives that encode the keys, and the RT cores traverse it to
+answer lookups.  NVIDIA does not document the internal builder, so this
+module provides three openly-described builders that bracket the plausible
+design space:
+
+* ``"lbvh"`` (default) — a Karras-style linear BVH: primitive centroids are
+  quantised onto a Morton grid spanning the scene bounds, sorted, and split
+  top-down at the highest differing Morton bit.  This mirrors what GPU
+  builders (including, by all public accounts, OptiX's fast build path) do,
+  and it naturally reproduces the Extended-Mode pathology of Section 3.2: a
+  hugely skewed coordinate range collapses many primitives into the same
+  Morton cell, which yields heavily overlapping sibling nodes and a traversal
+  blow-up.
+* ``"sah"`` — a binned surface-area-heuristic top-down builder (higher
+  quality, slower build).
+* ``"median"`` — object-median split along the widest axis (cheapest).
+
+The BVH is stored as a structure of arrays so traversal can read node bounds
+without per-node Python objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rtx.geometry import PrimitiveBuffer
+from repro.rtx.morton import morton_encode_3d
+
+#: Modelled allocation size of one BVH node before/after compaction (bytes).
+#: Compaction removes allocation slack but does not shrink what a traversal
+#: step has to fetch, which is why compacted and uncompacted accels perform
+#: almost identically (Figure 7a).
+NODE_BYTES_UNCOMPACTED = 80
+NODE_BYTES_COMPACTED = 40
+#: Bytes fetched per node visit during traversal (independent of compaction).
+NODE_FETCH_BYTES = 64
+
+
+@dataclass
+class BvhBuildOptions:
+    """Tunable knobs of the software BVH builder.
+
+    Attributes
+    ----------
+    builder:
+        ``"lbvh"``, ``"sah"`` or ``"median"``.
+    max_leaf_size:
+        Maximum number of primitives per leaf.
+    sah_bins:
+        Number of bins per axis for the binned SAH builder.
+    morton_bits:
+        Bits per axis used to quantise centroids for the LBVH builder.
+    allow_update:
+        Mirrors ``OPTIX_BUILD_FLAG_ALLOW_UPDATE``; required for refitting and
+        disables the effect of compaction.
+    allow_compaction:
+        Mirrors ``OPTIX_BUILD_FLAG_ALLOW_COMPACTION``.
+    """
+
+    builder: str = "lbvh"
+    max_leaf_size: int = 4
+    sah_bins: int = 16
+    morton_bits: int = 21
+    allow_update: bool = False
+    allow_compaction: bool = True
+
+    def validate(self) -> None:
+        if self.builder not in ("lbvh", "sah", "median"):
+            raise ValueError(f"unknown BVH builder {self.builder!r}")
+        if self.max_leaf_size < 1:
+            raise ValueError("max_leaf_size must be >= 1")
+        if not 1 <= self.morton_bits <= 21:
+            raise ValueError("morton_bits must be in [1, 21]")
+        if self.sah_bins < 2:
+            raise ValueError("sah_bins must be >= 2")
+
+
+@dataclass
+class BvhStatistics:
+    """Summary statistics of a built BVH (quality diagnostics)."""
+
+    node_count: int
+    leaf_count: int
+    max_depth: int
+    max_leaf_size: int
+    mean_leaf_size: float
+    sah_cost: float
+    total_overlap_area: float
+
+
+@dataclass
+class Bvh:
+    """A binary BVH stored as a structure of arrays.
+
+    ``left[i] == -1`` marks node ``i`` as a leaf; its primitives are
+    ``prim_indices[first_prim[i] : first_prim[i] + prim_count[i]]``.
+    The root is node 0.
+    """
+
+    node_mins: np.ndarray
+    node_maxs: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    first_prim: np.ndarray
+    prim_count: np.ndarray
+    prim_indices: np.ndarray
+    num_primitives: int
+    options: BvhBuildOptions
+    compacted: bool = False
+    #: filled by refits so lookup-quality degradation can be inspected
+    refit_generation: int = 0
+    build_stats: dict = field(default_factory=dict)
+
+    @property
+    def node_count(self) -> int:
+        return int(self.left.shape[0])
+
+    @property
+    def leaf_count(self) -> int:
+        return int(np.count_nonzero(self.left < 0))
+
+    def is_leaf(self, node: int) -> bool:
+        return self.left[node] < 0
+
+    def node_bytes(self) -> int:
+        """Bytes fetched per node visit (identical for compacted accels)."""
+        return NODE_FETCH_BYTES
+
+    def depth(self) -> int:
+        """Maximum depth of the tree (root at depth 0), computed iteratively."""
+        if self.node_count == 0:
+            return 0
+        max_depth = 0
+        stack = [(0, 0)]
+        while stack:
+            node, d = stack.pop()
+            max_depth = max(max_depth, d)
+            if not self.is_leaf(node):
+                stack.append((int(self.left[node]), d + 1))
+                stack.append((int(self.right[node]), d + 1))
+        return max_depth
+
+    def surface_areas(self) -> np.ndarray:
+        """Surface area of every node's bounding box."""
+        extents = np.maximum(self.node_maxs - self.node_mins, 0.0)
+        ex, ey, ez = extents[:, 0], extents[:, 1], extents[:, 2]
+        return 2.0 * (ex * ey + ey * ez + ez * ex)
+
+    def sah_cost(self, traversal_cost: float = 1.0, intersect_cost: float = 1.0) -> float:
+        """Classic SAH cost of the tree relative to the root's surface area."""
+        if self.node_count == 0:
+            return 0.0
+        areas = self.surface_areas().astype(np.float64)
+        root_area = max(float(areas[0]), 1e-30)
+        leaves = self.left < 0
+        inner = ~leaves
+        cost = traversal_cost * float(areas[inner].sum()) / root_area
+        cost += intersect_cost * float(
+            (areas[leaves] * self.prim_count[leaves]).sum()
+        ) / root_area
+        return cost
+
+    def statistics(self) -> BvhStatistics:
+        leaves = self.left < 0
+        leaf_sizes = self.prim_count[leaves]
+        areas = self.surface_areas()
+        # Sibling overlap: shared surface between the two children of each
+        # inner node, a cheap proxy for BVH quality degradation after refits.
+        inner = np.flatnonzero(~leaves)
+        overlap = 0.0
+        for node in inner:
+            l, r = int(self.left[node]), int(self.right[node])
+            o_min = np.maximum(self.node_mins[l], self.node_mins[r])
+            o_max = np.minimum(self.node_maxs[l], self.node_maxs[r])
+            ext = np.maximum(o_max - o_min, 0.0)
+            overlap += float(2.0 * (ext[0] * ext[1] + ext[1] * ext[2] + ext[2] * ext[0]))
+        return BvhStatistics(
+            node_count=self.node_count,
+            leaf_count=int(leaves.sum()),
+            max_depth=self.depth(),
+            max_leaf_size=int(leaf_sizes.max()) if leaf_sizes.size else 0,
+            mean_leaf_size=float(leaf_sizes.mean()) if leaf_sizes.size else 0.0,
+            sah_cost=self.sah_cost(),
+            total_overlap_area=overlap,
+        )
+
+    def structure_bytes(self) -> int:
+        """Modelled device memory consumed by the node structure alone."""
+        return self.node_count * self.node_bytes()
+
+
+def build_bvh(
+    primitive_buffer: PrimitiveBuffer,
+    options: BvhBuildOptions | None = None,
+) -> Bvh:
+    """Build a BVH over all primitives of ``primitive_buffer``.
+
+    This is the software analogue of ``optixAccelBuild`` with
+    ``OPTIX_BUILD_OPERATION_BUILD``.
+    """
+    options = options or BvhBuildOptions()
+    options.validate()
+    prim_mins, prim_maxs = primitive_buffer.compute_aabbs()
+    prim_mins = prim_mins.astype(np.float64)
+    prim_maxs = prim_maxs.astype(np.float64)
+    n = prim_mins.shape[0]
+    if n == 0:
+        raise ValueError("cannot build a BVH over zero primitives")
+
+    centroids = 0.5 * (prim_mins + prim_maxs)
+
+    if options.builder == "lbvh":
+        order = _lbvh_order(centroids, options.morton_bits)
+        splitter = _LbvhSplitter(centroids, order, options)
+    elif options.builder == "sah":
+        order = np.arange(n, dtype=np.int64)
+        splitter = _SahSplitter(centroids, prim_mins, prim_maxs, options)
+    else:
+        order = np.arange(n, dtype=np.int64)
+        splitter = _MedianSplitter(centroids, options)
+
+    builder = _TopDownBuilder(prim_mins, prim_maxs, options, splitter)
+    bvh = builder.build(order)
+    bvh.num_primitives = n
+    bvh.build_stats = {
+        "builder": options.builder,
+        "num_primitives": n,
+        "node_count": bvh.node_count,
+        "leaf_count": bvh.leaf_count,
+    }
+    return bvh
+
+
+def _lbvh_order(centroids: np.ndarray, morton_bits: int) -> np.ndarray:
+    """Sort primitives by the Morton code of their quantised centroid."""
+    codes = morton_encode_3d(centroids, morton_bits)
+    return np.argsort(codes, kind="stable")
+
+
+class _TopDownBuilder:
+    """Shared top-down build loop; the splitter decides how ranges split."""
+
+    def __init__(self, prim_mins, prim_maxs, options, splitter):
+        self.prim_mins = prim_mins
+        self.prim_maxs = prim_maxs
+        self.options = options
+        self.splitter = splitter
+        self.node_mins: list[np.ndarray] = []
+        self.node_maxs: list[np.ndarray] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.first_prim: list[int] = []
+        self.prim_count: list[int] = []
+
+    def _new_node(self) -> int:
+        self.node_mins.append(np.zeros(3))
+        self.node_maxs.append(np.zeros(3))
+        self.left.append(-1)
+        self.right.append(-1)
+        self.first_prim.append(0)
+        self.prim_count.append(0)
+        return len(self.left) - 1
+
+    def build(self, order: np.ndarray) -> Bvh:
+        prim_indices = np.array(order, dtype=np.int64, copy=True)
+        root = self._new_node()
+        # Work stack of (node_id, start, end) ranges over prim_indices.
+        stack = [(root, 0, len(prim_indices))]
+        while stack:
+            node, start, end = stack.pop()
+            idx = prim_indices[start:end]
+            mins = self.prim_mins[idx]
+            maxs = self.prim_maxs[idx]
+            self.node_mins[node] = mins.min(axis=0)
+            self.node_maxs[node] = maxs.max(axis=0)
+            count = end - start
+            if count <= self.options.max_leaf_size:
+                self.first_prim[node] = start
+                self.prim_count[node] = count
+                continue
+            split = self.splitter.split(prim_indices, start, end)
+            if split is None or split <= start or split >= end:
+                # The splitter could not separate the range (e.g. identical
+                # Morton codes or identical centroids): fall back to a median
+                # split by index, as GPU builders do.
+                split = start + count // 2
+            left = self._new_node()
+            right = self._new_node()
+            self.left[node] = left
+            self.right[node] = right
+            stack.append((left, start, split))
+            stack.append((right, split, end))
+        return Bvh(
+            node_mins=np.asarray(self.node_mins, dtype=np.float32),
+            node_maxs=np.asarray(self.node_maxs, dtype=np.float32),
+            left=np.asarray(self.left, dtype=np.int64),
+            right=np.asarray(self.right, dtype=np.int64),
+            first_prim=np.asarray(self.first_prim, dtype=np.int64),
+            prim_count=np.asarray(self.prim_count, dtype=np.int64),
+            prim_indices=prim_indices,
+            num_primitives=len(prim_indices),
+            options=self.options,
+        )
+
+
+class _MedianSplitter:
+    """Split at the object median along the widest centroid axis."""
+
+    def __init__(self, centroids, options):
+        self.centroids = centroids
+        self.options = options
+
+    def split(self, prim_indices, start, end):
+        idx = prim_indices[start:end]
+        cents = self.centroids[idx]
+        extents = cents.max(axis=0) - cents.min(axis=0)
+        axis = int(np.argmax(extents))
+        if extents[axis] <= 0.0:
+            return None
+        order = np.argsort(cents[:, axis], kind="stable")
+        prim_indices[start:end] = idx[order]
+        return start + (end - start) // 2
+
+
+class _LbvhSplitter:
+    """Split sorted Morton ranges at the highest differing bit.
+
+    Primitives arrive already sorted by Morton code, so a split is simply the
+    first index whose code differs from the range's first code in the most
+    significant differing bit.  Ranges with identical codes fall back to an
+    index-median split (handled by the caller), which reproduces the
+    fully-overlapping sibling nodes that degrade traversal for pathological
+    coordinate distributions.
+    """
+
+    def __init__(self, centroids, order, options):
+        codes = morton_encode_3d(centroids, options.morton_bits)
+        self.sorted_codes = codes[order]
+        # Map from primitive id to position so we can recover sorted positions.
+        self.options = options
+
+    def split(self, prim_indices, start, end):
+        codes = self.sorted_codes[start:end]
+        first, last = int(codes[0]), int(codes[-1])
+        if first == last:
+            return None
+        # Highest bit in which first and last differ.
+        diff = first ^ last
+        split_bit = diff.bit_length() - 1
+        prefix = first >> split_bit
+        # First position whose code has a different prefix above split_bit.
+        boundary = np.searchsorted(codes >> split_bit, prefix, side="right")
+        return start + int(boundary)
+
+
+class _SahSplitter:
+    """Binned surface-area-heuristic splitter."""
+
+    def __init__(self, centroids, prim_mins, prim_maxs, options):
+        self.centroids = centroids
+        self.prim_mins = prim_mins
+        self.prim_maxs = prim_maxs
+        self.bins = options.sah_bins
+
+    @staticmethod
+    def _area(mins, maxs):
+        ext = np.maximum(maxs - mins, 0.0)
+        return 2.0 * (ext[0] * ext[1] + ext[1] * ext[2] + ext[2] * ext[0])
+
+    def split(self, prim_indices, start, end):
+        idx = prim_indices[start:end]
+        cents = self.centroids[idx]
+        lo = cents.min(axis=0)
+        hi = cents.max(axis=0)
+        extents = hi - lo
+        axis = int(np.argmax(extents))
+        if extents[axis] <= 0.0:
+            return None
+
+        nbins = self.bins
+        scale = nbins / extents[axis]
+        bin_ids = np.minimum(((cents[:, axis] - lo[axis]) * scale).astype(np.int64),
+                             nbins - 1)
+
+        best_cost = np.inf
+        best_bin = -1
+        counts = np.bincount(bin_ids, minlength=nbins)
+        # Grow bin bounds.
+        bin_mins = np.full((nbins, 3), np.inf)
+        bin_maxs = np.full((nbins, 3), -np.inf)
+        mins = self.prim_mins[idx]
+        maxs = self.prim_maxs[idx]
+        for b in range(nbins):
+            mask = bin_ids == b
+            if mask.any():
+                bin_mins[b] = mins[mask].min(axis=0)
+                bin_maxs[b] = maxs[mask].max(axis=0)
+        # Sweep candidate partitions.
+        for b in range(1, nbins):
+            left_count = counts[:b].sum()
+            right_count = counts[b:].sum()
+            if left_count == 0 or right_count == 0:
+                continue
+            lmins = bin_mins[:b][counts[:b] > 0]
+            lmaxs = bin_maxs[:b][counts[:b] > 0]
+            rmins = bin_mins[b:][counts[b:] > 0]
+            rmaxs = bin_maxs[b:][counts[b:] > 0]
+            la = self._area(lmins.min(axis=0), lmaxs.max(axis=0))
+            ra = self._area(rmins.min(axis=0), rmaxs.max(axis=0))
+            cost = la * left_count + ra * right_count
+            if cost < best_cost:
+                best_cost = cost
+                best_bin = b
+        if best_bin < 0:
+            return None
+        mask_left = bin_ids < best_bin
+        order = np.argsort(~mask_left, kind="stable")
+        prim_indices[start:end] = idx[order]
+        return start + int(mask_left.sum())

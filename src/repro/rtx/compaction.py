@@ -1,0 +1,67 @@
+"""Acceleration-structure compaction (``optixAccelCompact`` analogue).
+
+Compaction copies the acceleration structure into a tightly-packed buffer,
+roughly halving its footprint for triangle BVHs (Section 3.5 / Figure 7c).
+Functionally the tree is unchanged; only the modelled node size and the
+memory accounting differ.  Compaction is impossible when the accel was built
+with the update flag, mirroring the OptiX restriction quoted in Section 3.6.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.rtx.bvh import NODE_BYTES_COMPACTED, NODE_BYTES_UNCOMPACTED, Bvh
+
+
+@dataclass
+class CompactionResult:
+    """Outcome of a compaction pass."""
+
+    bvh: Bvh
+    bytes_before: int
+    bytes_after: int
+    bytes_copied: int
+
+    @property
+    def saved_bytes(self) -> int:
+        return max(self.bytes_before - self.bytes_after, 0)
+
+    @property
+    def reduction_fraction(self) -> float:
+        if self.bytes_before == 0:
+            return 0.0
+        return self.saved_bytes / self.bytes_before
+
+
+def compact_accel(bvh: Bvh) -> CompactionResult:
+    """Compact a BVH, returning the new (functionally identical) structure.
+
+    Raises ``ValueError`` when the BVH was built with ``allow_update``: OptiX
+    accepts the call but the compaction has no effect, which we surface
+    explicitly so experiments cannot silently mis-measure.
+    """
+    if bvh.options.allow_update:
+        raise ValueError(
+            "compaction has no effect on accels built with ALLOW_UPDATE; "
+            "build without the update flag to compact"
+        )
+    if bvh.compacted:
+        # Idempotent: compacting twice neither helps nor hurts.
+        return CompactionResult(
+            bvh=bvh,
+            bytes_before=bvh.structure_bytes(),
+            bytes_after=bvh.structure_bytes(),
+            bytes_copied=0,
+        )
+    bytes_before = bvh.node_count * NODE_BYTES_UNCOMPACTED
+    compacted = copy.copy(bvh)
+    compacted.compacted = True
+    bytes_after = bvh.node_count * NODE_BYTES_COMPACTED
+    return CompactionResult(
+        bvh=compacted,
+        bytes_before=bytes_before,
+        bytes_after=bytes_after,
+        bytes_copied=bytes_after,
+    )

@@ -1,0 +1,439 @@
+"""Geometric primitives, ray batches, and intersection tests.
+
+All coordinates are stored as float32, matching the OptiX restriction the
+paper has to work around.  Three primitive types are supported, mirroring
+Section 3.5 of the paper:
+
+* **triangles** — nine float32 per primitive (three 3D vertices); the
+  intersection test is "hardware accelerated" (flagged as such so the cost
+  model can price it on the RT cores),
+* **spheres** — three float32 per primitive plus a shared radius,
+* **AABBs** — six float32 per primitive with a user-provided (software)
+  intersection program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+FLOAT_BYTES = 4
+
+#: Sentinel used in hit records when a ray does not intersect anything.
+NO_HIT = np.uint32(0xFFFFFFFF)
+
+
+@dataclass
+class RayBatch:
+    """A batch of rays, stored as structure-of-arrays.
+
+    Attributes
+    ----------
+    origins:
+        ``(n, 3)`` float32 array of ray origins ``o``.
+    directions:
+        ``(n, 3)`` float32 array of ray directions ``d`` (not necessarily
+        normalised; the intersection parameter ``t`` is measured in units of
+        ``d`` exactly as in OptiX).
+    tmin, tmax:
+        ``(n,)`` float32 arrays restricting reported intersections to
+        ``tmin < t < tmax``.
+    lookup_ids:
+        ``(n,)`` int64 array mapping each ray back to the lookup that spawned
+        it.  A single range lookup in 3D Mode may fan out into several rays.
+    """
+
+    origins: np.ndarray
+    directions: np.ndarray
+    tmin: np.ndarray
+    tmax: np.ndarray
+    lookup_ids: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        self.origins = np.asarray(self.origins, dtype=np.float32).reshape(-1, 3)
+        self.directions = np.asarray(self.directions, dtype=np.float32).reshape(-1, 3)
+        n = self.origins.shape[0]
+        self.tmin = np.broadcast_to(
+            np.asarray(self.tmin, dtype=np.float32), (n,)
+        ).copy()
+        self.tmax = np.broadcast_to(
+            np.asarray(self.tmax, dtype=np.float32), (n,)
+        ).copy()
+        if self.lookup_ids is None:
+            self.lookup_ids = np.arange(n, dtype=np.int64)
+        else:
+            self.lookup_ids = np.asarray(self.lookup_ids, dtype=np.int64).reshape(-1)
+        if self.directions.shape[0] != n or self.lookup_ids.shape[0] != n:
+            raise ValueError("all ray component arrays must have the same length")
+
+    def __len__(self) -> int:
+        return int(self.origins.shape[0])
+
+    @property
+    def count(self) -> int:
+        return len(self)
+
+    def slice(self, start: int, stop: int) -> "RayBatch":
+        """Return the sub-batch of rays in ``[start, stop)``."""
+        return RayBatch(
+            origins=self.origins[start:stop],
+            directions=self.directions[start:stop],
+            tmin=self.tmin[start:stop],
+            tmax=self.tmax[start:stop],
+            lookup_ids=self.lookup_ids[start:stop],
+        )
+
+    @staticmethod
+    def concatenate(batches: list["RayBatch"]) -> "RayBatch":
+        """Concatenate several ray batches into one."""
+        if not batches:
+            return RayBatch(
+                origins=np.zeros((0, 3), dtype=np.float32),
+                directions=np.zeros((0, 3), dtype=np.float32),
+                tmin=np.zeros(0, dtype=np.float32),
+                tmax=np.zeros(0, dtype=np.float32),
+                lookup_ids=np.zeros(0, dtype=np.int64),
+            )
+        return RayBatch(
+            origins=np.concatenate([b.origins for b in batches]),
+            directions=np.concatenate([b.directions for b in batches]),
+            tmin=np.concatenate([b.tmin for b in batches]),
+            tmax=np.concatenate([b.tmax for b in batches]),
+            lookup_ids=np.concatenate([b.lookup_ids for b in batches]),
+        )
+
+
+class PrimitiveBuffer:
+    """Base class for primitive buffers (the OptiX "vertex buffer" analogue).
+
+    The position of a primitive within the buffer is its unique identifier;
+    the paper stores each key's triangle at the offset equal to its rowID so
+    that a reported hit directly yields the rowID.
+    """
+
+    #: human-readable primitive kind ("triangle", "sphere", "aabb")
+    kind: str = "abstract"
+    #: True when the per-primitive intersection test runs on the RT cores.
+    hardware_intersection: bool = False
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def count(self) -> int:
+        return len(self)
+
+    def primitive_bytes(self) -> int:
+        """Bytes of primitive storage handed to the acceleration build."""
+        raise NotImplementedError
+
+    def compute_aabbs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-primitive axis-aligned bounds as ``(mins, maxs)`` arrays."""
+        raise NotImplementedError
+
+    def intersect(self, origin, direction, tmin, tmax, prim_indices) -> np.ndarray:
+        """Return the subset of ``prim_indices`` whose primitive the ray hits."""
+        prim_indices = np.asarray(prim_indices, dtype=np.int64)
+        m = prim_indices.shape[0]
+        if m == 0:
+            return prim_indices
+        origins = np.broadcast_to(np.asarray(origin, dtype=np.float64), (m, 3))
+        directions = np.broadcast_to(np.asarray(direction, dtype=np.float64), (m, 3))
+        tmins = np.full(m, float(tmin))
+        tmaxs = np.full(m, float(tmax))
+        mask = self.intersect_pairs(origins, directions, tmins, tmaxs, prim_indices)
+        return prim_indices[mask]
+
+    def intersect_pairs(
+        self, origins, directions, tmins, tmaxs, prim_indices
+    ) -> np.ndarray:
+        """Element-wise test of ray ``i`` against primitive ``prim_indices[i]``.
+
+        All arguments are arrays of the same length ``m``; returns a boolean
+        mask of length ``m``.  This is the work-horse of the wavefront
+        traversal in :mod:`repro.rtx.traversal`.
+        """
+        raise NotImplementedError
+
+
+class TriangleBuffer(PrimitiveBuffer):
+    """Triangles stored as an ``(n, 3, 3)`` float32 vertex array."""
+
+    kind = "triangle"
+    hardware_intersection = True
+
+    def __init__(self, vertices: np.ndarray):
+        vertices = np.asarray(vertices, dtype=np.float32)
+        if vertices.ndim != 3 or vertices.shape[1:] != (3, 3):
+            raise ValueError("triangle vertices must have shape (n, 3, 3)")
+        self.vertices = vertices
+
+    def __len__(self) -> int:
+        return int(self.vertices.shape[0])
+
+    def primitive_bytes(self) -> int:
+        # nine float32 per triangle, exactly as the paper counts them
+        return len(self) * 9 * FLOAT_BYTES
+
+    def compute_aabbs(self) -> tuple[np.ndarray, np.ndarray]:
+        mins = self.vertices.min(axis=1)
+        maxs = self.vertices.max(axis=1)
+        return mins, maxs
+
+    def intersect_pairs(
+        self, origins, directions, tmins, tmaxs, prim_indices
+    ) -> np.ndarray:
+        """Möller–Trumbore ray/triangle test, element-wise over (ray, triangle) pairs."""
+        prim_indices = np.asarray(prim_indices, dtype=np.int64)
+        if prim_indices.size == 0:
+            return np.zeros(0, dtype=bool)
+        tri = self.vertices[prim_indices].astype(np.float64)
+        o = np.asarray(origins, dtype=np.float64)
+        d = np.asarray(directions, dtype=np.float64)
+        tmins = np.asarray(tmins, dtype=np.float64)
+        tmaxs = np.asarray(tmaxs, dtype=np.float64)
+        v0 = tri[:, 0]
+        e1 = tri[:, 1] - v0
+        e2 = tri[:, 2] - v0
+        pvec = np.cross(d, e2)
+        det = np.einsum("ij,ij->i", e1, pvec)
+        eps = 1e-12
+        parallel = np.abs(det) < eps
+        safe_det = np.where(parallel, 1.0, det)
+        inv_det = 1.0 / safe_det
+        tvec = o - v0
+        u = np.einsum("ij,ij->i", tvec, pvec) * inv_det
+        qvec = np.cross(tvec, e1)
+        v = np.einsum("ij,ij->i", d, qvec) * inv_det
+        t = np.einsum("ij,ij->i", e2, qvec) * inv_det
+        return (
+            ~parallel
+            & (u >= -1e-9)
+            & (v >= -1e-9)
+            & (u + v <= 1.0 + 1e-9)
+            & (t > tmins)
+            & (t < tmaxs)
+        )
+
+
+class SphereBuffer(PrimitiveBuffer):
+    """Spheres stored as ``(n, 3)`` float32 centres plus a shared radius.
+
+    The paper uses a uniform radius of 0.25 so that rays can always start and
+    end in the gaps between adjacent spheres.
+    """
+
+    kind = "sphere"
+    hardware_intersection = False
+
+    def __init__(self, centers: np.ndarray, radius: float = 0.25):
+        centers = np.asarray(centers, dtype=np.float32)
+        if centers.ndim != 2 or centers.shape[1] != 3:
+            raise ValueError("sphere centers must have shape (n, 3)")
+        if radius <= 0:
+            raise ValueError("sphere radius must be positive")
+        self.centers = centers
+        self.radius = np.float32(radius)
+
+    def __len__(self) -> int:
+        return int(self.centers.shape[0])
+
+    def primitive_bytes(self) -> int:
+        # three float32 per sphere; the shared radius is a single extra float
+        return len(self) * 3 * FLOAT_BYTES + FLOAT_BYTES
+
+    def compute_aabbs(self) -> tuple[np.ndarray, np.ndarray]:
+        r = np.float32(self.radius)
+        return self.centers - r, self.centers + r
+
+    def intersect_pairs(
+        self, origins, directions, tmins, tmaxs, prim_indices
+    ) -> np.ndarray:
+        """Analytic ray/sphere test; a hit is an entry or exit of the volume."""
+        prim_indices = np.asarray(prim_indices, dtype=np.int64)
+        if prim_indices.size == 0:
+            return np.zeros(0, dtype=bool)
+        c = self.centers[prim_indices].astype(np.float64)
+        o = np.asarray(origins, dtype=np.float64)
+        d = np.asarray(directions, dtype=np.float64)
+        tmins = np.asarray(tmins, dtype=np.float64)
+        tmaxs = np.asarray(tmaxs, dtype=np.float64)
+        r = float(self.radius)
+        oc = o - c
+        a = np.einsum("ij,ij->i", d, d)
+        b = 2.0 * np.einsum("ij,ij->i", oc, d)
+        cterm = np.einsum("ij,ij->i", oc, oc) - r * r
+        disc = b * b - 4.0 * a * cterm
+        valid = (disc >= 0.0) & (a > 0.0)
+        sqrt_disc = np.sqrt(np.where(valid, disc, 0.0))
+        safe_a = np.where(a > 0.0, a, 1.0)
+        t0 = (-b - sqrt_disc) / (2.0 * safe_a)
+        t1 = (-b + sqrt_disc) / (2.0 * safe_a)
+        hit0 = valid & (t0 > tmins) & (t0 < tmaxs)
+        hit1 = valid & (t1 > tmins) & (t1 < tmaxs)
+        return hit0 | hit1
+
+
+class AabbBuffer(PrimitiveBuffer):
+    """Axis-aligned bounding boxes with a software intersection program.
+
+    Each AABB encloses the key's notional primitive; as in the paper, the
+    user-supplied intersection program simply reports the hit (the any-hit
+    logic is folded into it), so the functional behaviour is a plain slab
+    test.
+    """
+
+    kind = "aabb"
+    hardware_intersection = False
+
+    def __init__(self, mins: np.ndarray, maxs: np.ndarray):
+        mins = np.asarray(mins, dtype=np.float32)
+        maxs = np.asarray(maxs, dtype=np.float32)
+        if mins.shape != maxs.shape or mins.ndim != 2 or mins.shape[1] != 3:
+            raise ValueError("AABB mins/maxs must both have shape (n, 3)")
+        if np.any(maxs < mins):
+            raise ValueError("AABB max corner must not be below min corner")
+        self.mins = mins
+        self.maxs = maxs
+
+    def __len__(self) -> int:
+        return int(self.mins.shape[0])
+
+    def primitive_bytes(self) -> int:
+        # two corners of three float32 each
+        return len(self) * 6 * FLOAT_BYTES
+
+    def compute_aabbs(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.mins.copy(), self.maxs.copy()
+
+    def intersect_pairs(
+        self, origins, directions, tmins, tmaxs, prim_indices
+    ) -> np.ndarray:
+        prim_indices = np.asarray(prim_indices, dtype=np.int64)
+        if prim_indices.size == 0:
+            return np.zeros(0, dtype=bool)
+        mins = self.mins[prim_indices].astype(np.float64)
+        maxs = self.maxs[prim_indices].astype(np.float64)
+        return ray_box_overlap_pairs(origins, directions, tmins, tmaxs, mins, maxs)
+
+
+def ray_box_overlap_pairs(
+    origins, directions, tmins, tmaxs, box_mins, box_maxs
+) -> np.ndarray:
+    """Element-wise slab test: does ray ``i`` overlap box ``i``?
+
+    All arguments are arrays over the same pair index; returns a boolean mask.
+    The test is performed in float64 for numerical robustness and treats
+    rays that are parallel to a slab as hitting only when the origin lies
+    inside that slab.
+    """
+    o = np.asarray(origins, dtype=np.float64).reshape(-1, 3)
+    d = np.asarray(directions, dtype=np.float64).reshape(-1, 3)
+    mins = np.asarray(box_mins, dtype=np.float64).reshape(-1, 3)
+    maxs = np.asarray(box_maxs, dtype=np.float64).reshape(-1, 3)
+    lo = np.asarray(tmins, dtype=np.float64).copy()
+    hi = np.asarray(tmaxs, dtype=np.float64).copy()
+    ok = np.ones(o.shape[0], dtype=bool)
+    for axis in range(3):
+        da = d[:, axis]
+        oa = o[:, axis]
+        parallel = np.abs(da) < 1e-300
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inv = np.where(parallel, np.inf, 1.0 / np.where(parallel, 1.0, da))
+            t0 = (mins[:, axis] - oa) * inv
+            t1 = (maxs[:, axis] - oa) * inv
+        near = np.minimum(t0, t1)
+        far = np.maximum(t0, t1)
+        lo = np.where(parallel, lo, np.maximum(lo, near))
+        hi = np.where(parallel, hi, np.minimum(hi, far))
+        ok &= np.where(
+            parallel, (oa >= mins[:, axis]) & (oa <= maxs[:, axis]), True
+        )
+    return ok & (lo <= hi)
+
+
+def ray_box_overlap(origin, direction, tmin, tmax, box_mins, box_maxs) -> np.ndarray:
+    """Slab test of a single ray against many boxes (convenience wrapper)."""
+    mins = np.asarray(box_mins, dtype=np.float64).reshape(-1, 3)
+    m = mins.shape[0]
+    origins = np.broadcast_to(np.asarray(origin, dtype=np.float64), (m, 3))
+    directions = np.broadcast_to(np.asarray(direction, dtype=np.float64), (m, 3))
+    tmins = np.full(m, float(tmin))
+    tmaxs = np.full(m, float(tmax))
+    return ray_box_overlap_pairs(origins, directions, tmins, tmaxs, mins, box_maxs)
+
+
+#: Unit corner offsets for key triangles, expressed as fractions of the
+#: half-extent.  They sum to zero per component, so the anchor point is the
+#: centroid of the triangle (and therefore strictly inside it), and the
+#: triangle's plane is transversal to both the x-parallel range rays and the
+#: z-perpendicular point rays used by the paper.  The paper's own corner
+#: offsets place the anchor exactly on a triangle edge, which only works with
+#: OptiX's watertight hardware test; the centroid layout preserves the same
+#: gaps and hit semantics while being robust for a software intersector.
+_TRIANGLE_UNIT_OFFSETS = np.array(
+    [
+        [-0.9, -0.5, -0.6],
+        [0.9, -0.4, 0.2],
+        [0.0, 0.9, 0.4],
+    ],
+    dtype=np.float64,
+)
+
+
+def make_triangle_vertices(
+    points: np.ndarray,
+    half_extent: float = 0.5,
+    x_half_extent: np.ndarray | None = None,
+) -> np.ndarray:
+    """Build one triangle per anchor point.
+
+    For a key mapped to the point ``(x, y, z)`` a triangle is created whose
+    centroid is exactly that point and whose corners stay within
+    ``half_extent`` of it, so adjacent keys (spaced one unit apart) keep a gap
+    for rays to start and end in.
+
+    ``x_half_extent`` optionally overrides the extent along the x axis per
+    primitive.  Extended Mode needs this: there, adjacent keys are only two
+    representable floats apart, so the x extent must shrink to one ULP while
+    the y/z extents keep their usual size.
+    """
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+    n = pts.shape[0]
+    he = float(half_extent)
+    if x_half_extent is None:
+        hx = np.full(n, he, dtype=np.float64)
+    else:
+        hx = np.broadcast_to(np.asarray(x_half_extent, dtype=np.float64), (n,))
+    vertices = np.empty((n, 3, 3), dtype=np.float64)
+    for corner in range(3):
+        ox, oy, oz = _TRIANGLE_UNIT_OFFSETS[corner]
+        vertices[:, corner, 0] = pts[:, 0] + ox * hx
+        vertices[:, corner, 1] = pts[:, 1] + oy * he
+        vertices[:, corner, 2] = pts[:, 2] + oz * he
+    return vertices.astype(np.float32)
+
+
+def make_aabbs_from_points(
+    points: np.ndarray,
+    half_extent: float = 0.25,
+    x_half_extent: np.ndarray | None = None,
+):
+    """Build one small AABB per anchor point (used for the AABB primitive)."""
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+    n = pts.shape[0]
+    he = float(half_extent)
+    if x_half_extent is None:
+        hx = np.full(n, he, dtype=np.float64)
+    else:
+        hx = np.broadcast_to(np.asarray(x_half_extent, dtype=np.float64), (n,))
+    offsets = np.column_stack([hx, np.full(n, he), np.full(n, he)])
+    mins = (pts - offsets).astype(np.float32)
+    maxs = (pts + offsets).astype(np.float32)
+    return mins, maxs
+
+
+def make_sphere_centers(points: np.ndarray) -> np.ndarray:
+    """Sphere centres are simply the anchor points (radius handled separately)."""
+    return np.asarray(points, dtype=np.float32).reshape(-1, 3)

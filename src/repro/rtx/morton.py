@@ -1,0 +1,60 @@
+"""Morton (Z-order) codes for the LBVH builder.
+
+GPU BVH builders quantise primitive centroids onto a uniform grid spanning
+the scene bounds and sort them along a space-filling curve.  The grid has a
+fixed number of bits per axis, which is exactly why coordinate distributions
+with an enormous value range (Extended Mode with a large key-range ratio)
+collapse many primitives into the same cell and degrade the tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def expand_bits_3(values: np.ndarray, bits: int) -> np.ndarray:
+    """Spread the lowest ``bits`` bits of each value so that two zero bits
+    separate consecutive payload bits (the classic Morton interleave step).
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    result = np.zeros_like(values)
+    for bit in range(bits):
+        result |= ((values >> np.uint64(bit)) & np.uint64(1)) << np.uint64(3 * bit)
+    return result
+
+
+def quantize_to_grid(points: np.ndarray, bits: int) -> np.ndarray:
+    """Quantise ``(n, 3)`` points onto a ``2**bits`` per-axis grid over their bounds."""
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+    lo = pts.min(axis=0)
+    hi = pts.max(axis=0)
+    extent = np.where(hi - lo > 0, hi - lo, 1.0)
+    cells = (1 << bits) - 1
+    normalized = (pts - lo) / extent
+    return np.minimum((normalized * cells).astype(np.uint64), np.uint64(cells))
+
+
+def morton_encode_3d(points: np.ndarray, bits: int = 21) -> np.ndarray:
+    """Morton-encode ``(n, 3)`` float points using ``bits`` bits per axis.
+
+    Returns an ``(n,)`` uint64 array of codes; ``bits`` must be at most 21 so
+    the interleaved code fits into 63 bits.
+    """
+    if not 1 <= bits <= 21:
+        raise ValueError("bits must be in [1, 21]")
+    grid = quantize_to_grid(points, bits)
+    x = expand_bits_3(grid[:, 0], bits)
+    y = expand_bits_3(grid[:, 1], bits)
+    z = expand_bits_3(grid[:, 2], bits)
+    return (x << np.uint64(2)) | (y << np.uint64(1)) | z
+
+
+def morton_decode_3d(codes: np.ndarray, bits: int = 21) -> np.ndarray:
+    """Inverse of the interleave step: recover grid coordinates from codes."""
+    codes = np.asarray(codes, dtype=np.uint64)
+    coords = np.zeros((codes.shape[0], 3), dtype=np.uint64)
+    for bit in range(bits):
+        coords[:, 0] |= ((codes >> np.uint64(3 * bit + 2)) & np.uint64(1)) << np.uint64(bit)
+        coords[:, 1] |= ((codes >> np.uint64(3 * bit + 1)) & np.uint64(1)) << np.uint64(bit)
+        coords[:, 2] |= ((codes >> np.uint64(3 * bit)) & np.uint64(1)) << np.uint64(bit)
+    return coords

@@ -1,0 +1,240 @@
+"""The OptiX-shaped front-end: device context, accel build, pipeline launch.
+
+The names follow the OptiX 7 host API so that :class:`repro.core.rx_index.RXIndex`
+reads like the CUDA/OptiX code described in the paper:
+
+* :func:`accel_build`   — ``optixAccelBuild`` (build operation)
+* :func:`accel_compact` — ``optixAccelCompact``
+* :func:`accel_update`  — ``optixAccelBuild`` (update operation / refit)
+* :class:`Pipeline` and :meth:`Pipeline.launch` — ``optixPipeline`` + ``optixLaunch``
+
+A launch spawns one logical thread per ray (the paper spawns one per lookup),
+runs the ray-generation program, traces the rays against the accel, and feeds
+every intersection to the any-hit program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.rtx.build_input import BuildFlags, BuildInput
+from repro.rtx.bvh import Bvh, BvhBuildOptions, build_bvh
+from repro.rtx.compaction import CompactionResult, compact_accel
+from repro.rtx.geometry import RayBatch
+from repro.rtx.memory import DeviceMemoryTracker, accel_memory_estimate
+from repro.rtx.refit import RefitResult, refit_accel
+from repro.rtx.traversal import HitRecords, TraversalCounters, TraversalEngine
+
+
+@dataclass
+class DeviceContext:
+    """Holds per-device state: the memory tracker and default build options.
+
+    The OptiX analogue is ``OptixDeviceContext``; ours additionally exposes
+    the memory tracker that the paper's Table 6 numbers correspond to.
+    """
+
+    memory: DeviceMemoryTracker = field(default_factory=DeviceMemoryTracker)
+    default_build_options: BvhBuildOptions = field(default_factory=BvhBuildOptions)
+
+
+@dataclass
+class BuildMetrics:
+    """Work performed by an accel build, consumed by the GPU cost model."""
+
+    num_primitives: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    sort_passes: int = 0
+    temp_bytes: int = 0
+
+
+@dataclass
+class GeometryAccel:
+    """A built geometry acceleration structure (GAS).
+
+    Bundles the functional BVH, the primitive buffer it indexes, the memory
+    model numbers, and the metrics of the build that produced it.
+    """
+
+    bvh: Bvh
+    build_input: BuildInput
+    flags: BuildFlags
+    memory_handle: int
+    memory_info: dict[str, int]
+    build_metrics: BuildMetrics
+    compacted: bool = False
+
+    @property
+    def num_primitives(self) -> int:
+        return self.bvh.num_primitives
+
+    @property
+    def primitive_kind(self) -> str:
+        return self.build_input.primitive_buffer().kind
+
+    @property
+    def size_bytes(self) -> int:
+        """Current modelled device footprint of the accel."""
+        key = "compacted" if self.compacted else "uncompacted"
+        return self.memory_info[key]
+
+
+def accel_build(
+    context: DeviceContext,
+    build_input: BuildInput,
+    flags: BuildFlags = BuildFlags.ALLOW_COMPACTION,
+    build_options: BvhBuildOptions | None = None,
+) -> GeometryAccel:
+    """Build a geometry acceleration structure over ``build_input``.
+
+    Mirrors ``optixAccelBuild`` with the build operation: temporary memory is
+    allocated for the duration of the build (and accounted in the tracker's
+    peak), the resulting accel stays resident.
+    """
+    options = build_options or context.default_build_options
+    options = BvhBuildOptions(
+        builder=options.builder,
+        max_leaf_size=options.max_leaf_size,
+        sah_bins=options.sah_bins,
+        morton_bits=options.morton_bits,
+        allow_update=bool(flags & BuildFlags.ALLOW_UPDATE),
+        allow_compaction=bool(flags & BuildFlags.ALLOW_COMPACTION),
+    )
+
+    buffer = build_input.primitive_buffer()
+    memory_info = accel_memory_estimate(buffer.kind, len(buffer))
+
+    temp_handle = context.memory.alloc(
+        "accel_build_temp", memory_info["build_temp"], temporary=True
+    )
+    accel_handle = context.memory.alloc("accel", memory_info["uncompacted"])
+
+    bvh = build_bvh(buffer, options)
+
+    context.memory.free(temp_handle)
+
+    metrics = BuildMetrics(
+        num_primitives=len(buffer),
+        bytes_read=build_input.primitive_bytes,
+        bytes_written=memory_info["uncompacted"],
+        sort_passes=1 if options.builder == "lbvh" else 0,
+        temp_bytes=memory_info["build_temp"],
+    )
+    return GeometryAccel(
+        bvh=bvh,
+        build_input=build_input,
+        flags=flags,
+        memory_handle=accel_handle,
+        memory_info=memory_info,
+        build_metrics=metrics,
+    )
+
+
+def accel_compact(context: DeviceContext, accel: GeometryAccel) -> CompactionResult:
+    """Compact ``accel`` in place (``optixAccelCompact``).
+
+    The compacted accel replaces the uncompacted one in the memory tracker;
+    the temporary co-existence of both copies is reflected in the peak.
+    """
+    result = compact_accel(accel.bvh)
+    if result.bytes_copied == 0:
+        return result
+    new_handle = context.memory.alloc("accel_compacted", accel.memory_info["compacted"])
+    context.memory.free(accel.memory_handle)
+    accel.memory_handle = new_handle
+    accel.bvh = result.bvh
+    accel.compacted = True
+    return result
+
+
+def accel_update(
+    context: DeviceContext, accel: GeometryAccel, new_build_input: BuildInput
+) -> RefitResult:
+    """Refit ``accel`` to moved primitives (``optixAccelBuild`` update op).
+
+    Updates require the accel to have been built with ``ALLOW_UPDATE`` and,
+    like OptiX, need temporary memory even though the node structure is
+    reused.
+    """
+    buffer = new_build_input.primitive_buffer()
+    temp_handle = context.memory.alloc(
+        "accel_update_temp",
+        int(accel.memory_info["build_temp"] * 0.5),
+        temporary=True,
+    )
+    try:
+        result = refit_accel(accel.bvh, buffer)
+    finally:
+        context.memory.free(temp_handle)
+    accel.build_input = new_build_input
+    return result
+
+
+@dataclass
+class LaunchResult:
+    """Everything a pipeline launch produced."""
+
+    hits: HitRecords
+    counters: TraversalCounters
+    num_lookups: int
+    num_rays: int
+
+    def hits_per_lookup(self) -> np.ndarray:
+        """Number of reported hits per originating lookup."""
+        counts = np.zeros(self.num_lookups, dtype=np.int64)
+        if self.hits.count:
+            np.add.at(counts, self.hits.lookup_ids, 1)
+        return counts
+
+
+@dataclass
+class Pipeline:
+    """A ray-tracing pipeline bound to one accel.
+
+    ``raygen`` converts launch parameters into a :class:`RayBatch` (the paper
+    converts each lookup range into ray origin/direction/tmin/tmax there);
+    ``any_hit`` optionally filters intersections (used by the AABB primitive,
+    whose intersection program re-checks the candidate in software).
+    """
+
+    context: DeviceContext
+    accel: GeometryAccel
+    raygen: Callable[..., RayBatch] | None = None
+    any_hit: Callable | None = None
+
+    def __post_init__(self) -> None:
+        self._engine = TraversalEngine(self.accel.bvh, self.accel.build_input.primitive_buffer())
+
+    @property
+    def engine(self) -> TraversalEngine:
+        return self._engine
+
+    def refresh(self) -> None:
+        """Re-bind the traversal engine after a rebuild/refit of the accel."""
+        self._engine = TraversalEngine(self.accel.bvh, self.accel.build_input.primitive_buffer())
+
+    def launch(self, rays: RayBatch | None = None, num_lookups: int | None = None, **raygen_params) -> LaunchResult:
+        """Launch the pipeline for a batch of rays.
+
+        Either pass a prepared :class:`RayBatch`, or rely on the pipeline's
+        ray-generation program by passing its parameters as keyword arguments.
+        """
+        if rays is None:
+            if self.raygen is None:
+                raise ValueError("no rays given and no ray-generation program bound")
+            rays = self.raygen(**raygen_params)
+        if num_lookups is None:
+            num_lookups = int(rays.lookup_ids.max()) + 1 if len(rays) else 0
+        self._engine.reset_counters()
+        hits = self._engine.trace(rays, any_hit=self.any_hit)
+        counters = self._engine.counters
+        return LaunchResult(
+            hits=hits,
+            counters=counters,
+            num_lookups=num_lookups,
+            num_rays=len(rays),
+        )

@@ -1,0 +1,258 @@
+"""BVH traversal with hardware-style performance counters.
+
+The traversal is *wavefront* style: instead of walking the tree one ray at a
+time, a frontier of ``(ray, node)`` pairs is advanced level by level with
+fully vectorised NumPy operations.  Functionally this is equivalent to the
+per-ray stack traversal the RT cores perform; the counters it produces
+(node visits, box tests, primitive intersection tests, bytes touched) are the
+quantities the paper reads from Nsight Compute and that our GPU cost model
+converts into simulated milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rtx.bvh import Bvh
+from repro.rtx.geometry import PrimitiveBuffer, RayBatch, ray_box_overlap_pairs
+
+
+@dataclass
+class TraversalCounters:
+    """Counters accumulated during one or more traced ray batches."""
+
+    rays: int = 0
+    node_visits: int = 0
+    box_tests: int = 0
+    prim_tests: int = 0
+    prim_hits: int = 0
+    rays_with_hits: int = 0
+    rays_without_hits: int = 0
+    node_bytes_read: int = 0
+    prim_bytes_read: int = 0
+    hardware_intersection_tests: int = 0
+    software_intersection_calls: int = 0
+    max_frontier_size: int = 0
+    traversal_rounds: int = 0
+
+    def merge(self, other: "TraversalCounters") -> "TraversalCounters":
+        """Accumulate ``other`` into ``self`` and return ``self``."""
+        self.rays += other.rays
+        self.node_visits += other.node_visits
+        self.box_tests += other.box_tests
+        self.prim_tests += other.prim_tests
+        self.prim_hits += other.prim_hits
+        self.rays_with_hits += other.rays_with_hits
+        self.rays_without_hits += other.rays_without_hits
+        self.node_bytes_read += other.node_bytes_read
+        self.prim_bytes_read += other.prim_bytes_read
+        self.hardware_intersection_tests += other.hardware_intersection_tests
+        self.software_intersection_calls += other.software_intersection_calls
+        self.max_frontier_size = max(self.max_frontier_size, other.max_frontier_size)
+        self.traversal_rounds += other.traversal_rounds
+        return self
+
+    @property
+    def total_bytes_read(self) -> int:
+        return self.node_bytes_read + self.prim_bytes_read
+
+    @property
+    def node_visits_per_ray(self) -> float:
+        return self.node_visits / self.rays if self.rays else 0.0
+
+    @property
+    def prim_tests_per_ray(self) -> float:
+        return self.prim_tests / self.rays if self.rays else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "rays": self.rays,
+            "node_visits": self.node_visits,
+            "box_tests": self.box_tests,
+            "prim_tests": self.prim_tests,
+            "prim_hits": self.prim_hits,
+            "rays_with_hits": self.rays_with_hits,
+            "rays_without_hits": self.rays_without_hits,
+            "node_bytes_read": self.node_bytes_read,
+            "prim_bytes_read": self.prim_bytes_read,
+            "hardware_intersection_tests": self.hardware_intersection_tests,
+            "software_intersection_calls": self.software_intersection_calls,
+            "max_frontier_size": self.max_frontier_size,
+            "traversal_rounds": self.traversal_rounds,
+        }
+
+
+@dataclass
+class HitRecords:
+    """All (ray, primitive) hits of a traced batch, in structure-of-arrays form.
+
+    ``ray_indices[i]`` is the index of the ray *within the traced batch* and
+    ``prim_indices[i]`` the primitive it hit.  ``lookup_ids[i]`` maps the hit
+    back to the originating lookup (several rays can serve one lookup in 3D
+    Mode range queries).
+    """
+
+    ray_indices: np.ndarray
+    prim_indices: np.ndarray
+    lookup_ids: np.ndarray
+    num_rays: int
+
+    @property
+    def count(self) -> int:
+        return int(self.ray_indices.shape[0])
+
+    def hits_per_ray(self) -> np.ndarray:
+        """Number of hits of each ray in the batch."""
+        return np.bincount(self.ray_indices, minlength=self.num_rays)
+
+
+@dataclass
+class TraversalEngine:
+    """Traces ray batches against a BVH over a primitive buffer."""
+
+    bvh: Bvh
+    primitives: PrimitiveBuffer
+    #: bytes charged per primitive intersection test (triangle data embedded
+    #: in the accel); derived from the primitive buffer when left at None.
+    prim_test_bytes: int | None = None
+    #: The RTX hardware culls BVH nodes against the ray's *far* limit (tmax)
+    #: but applies the *near* limit (tmin) only when testing primitives — the
+    #: paper's Figure 6 / Table 3 measurements (rays "from zero" being far
+    #: slower than offset rays despite identical geometric segments) are only
+    #: explainable this way.  Set to True to model an idealised traversal
+    #: that culls against the full [tmin, tmax] interval.
+    node_cull_respects_tmin: bool = False
+    counters: TraversalCounters = field(default_factory=TraversalCounters)
+
+    def reset_counters(self) -> None:
+        self.counters = TraversalCounters()
+
+    def trace(self, rays: RayBatch, any_hit=None) -> HitRecords:
+        """Trace all rays and return every (ray, primitive) intersection.
+
+        ``any_hit`` optionally mimics the OptiX any-hit program: it receives
+        ``(ray_indices, prim_indices, lookup_ids)`` and returns a boolean mask
+        selecting the hits to keep (e.g. software filtering for AABB
+        primitives).
+        """
+        counters = TraversalCounters()
+        counters.rays = len(rays)
+        bvh = self.bvh
+        node_bytes = bvh.node_bytes()
+        per_prim_bytes = (
+            self.prim_test_bytes
+            if self.prim_test_bytes is not None
+            else max(self.primitives.primitive_bytes() // max(len(self.primitives), 1), 1)
+        )
+
+        n_rays = len(rays)
+        hit_rays: list[np.ndarray] = []
+        hit_prims: list[np.ndarray] = []
+
+        if n_rays > 0 and bvh.node_count > 0:
+            if self.node_cull_respects_tmin:
+                node_tmin = rays.tmin
+            else:
+                # Nodes in front of the origin but before tmin are still
+                # visited; only their primitive hits are rejected later.
+                node_tmin = np.minimum(rays.tmin, np.float32(0.0))
+            frontier_rays = np.arange(n_rays, dtype=np.int64)
+            frontier_nodes = np.zeros(n_rays, dtype=np.int64)
+            while frontier_rays.size:
+                counters.traversal_rounds += 1
+                counters.max_frontier_size = max(
+                    counters.max_frontier_size, int(frontier_rays.size)
+                )
+                counters.node_visits += int(frontier_rays.size)
+                counters.box_tests += int(frontier_rays.size)
+                counters.node_bytes_read += int(frontier_rays.size) * node_bytes
+
+                overlap = ray_box_overlap_pairs(
+                    rays.origins[frontier_rays],
+                    rays.directions[frontier_rays],
+                    node_tmin[frontier_rays],
+                    rays.tmax[frontier_rays],
+                    bvh.node_mins[frontier_nodes],
+                    bvh.node_maxs[frontier_nodes],
+                )
+                frontier_rays = frontier_rays[overlap]
+                frontier_nodes = frontier_nodes[overlap]
+                if frontier_rays.size == 0:
+                    break
+
+                is_leaf = bvh.left[frontier_nodes] < 0
+                leaf_rays = frontier_rays[is_leaf]
+                leaf_nodes = frontier_nodes[is_leaf]
+                if leaf_rays.size:
+                    pair_rays, pair_prims = self._expand_leaf_pairs(leaf_rays, leaf_nodes)
+                    counters.prim_tests += int(pair_prims.size)
+                    counters.prim_bytes_read += int(pair_prims.size) * per_prim_bytes
+                    if self.primitives.hardware_intersection:
+                        counters.hardware_intersection_tests += int(pair_prims.size)
+                    else:
+                        counters.software_intersection_calls += int(pair_prims.size)
+                    mask = self.primitives.intersect_pairs(
+                        rays.origins[pair_rays],
+                        rays.directions[pair_rays],
+                        rays.tmin[pair_rays],
+                        rays.tmax[pair_rays],
+                        pair_prims,
+                    )
+                    hit_rays.append(pair_rays[mask])
+                    hit_prims.append(pair_prims[mask])
+
+                inner_rays = frontier_rays[~is_leaf]
+                inner_nodes = frontier_nodes[~is_leaf]
+                if inner_rays.size:
+                    frontier_rays = np.concatenate([inner_rays, inner_rays])
+                    frontier_nodes = np.concatenate(
+                        [bvh.left[inner_nodes], bvh.right[inner_nodes]]
+                    )
+                else:
+                    frontier_rays = np.zeros(0, dtype=np.int64)
+                    frontier_nodes = np.zeros(0, dtype=np.int64)
+
+        if hit_rays:
+            ray_indices = np.concatenate(hit_rays)
+            prim_indices = np.concatenate(hit_prims)
+        else:
+            ray_indices = np.zeros(0, dtype=np.int64)
+            prim_indices = np.zeros(0, dtype=np.int64)
+
+        lookup_ids = rays.lookup_ids[ray_indices] if ray_indices.size else ray_indices
+        if any_hit is not None and ray_indices.size:
+            keep = np.asarray(any_hit(ray_indices, prim_indices, lookup_ids), dtype=bool)
+            ray_indices = ray_indices[keep]
+            prim_indices = prim_indices[keep]
+            lookup_ids = lookup_ids[keep]
+
+        counters.prim_hits = int(ray_indices.size)
+        rays_hit = np.unique(ray_indices).size
+        counters.rays_with_hits = int(rays_hit)
+        counters.rays_without_hits = int(n_rays - rays_hit)
+
+        self.counters.merge(counters)
+        return HitRecords(
+            ray_indices=ray_indices,
+            prim_indices=prim_indices,
+            lookup_ids=lookup_ids,
+            num_rays=n_rays,
+        )
+
+    def _expand_leaf_pairs(self, leaf_rays: np.ndarray, leaf_nodes: np.ndarray):
+        """Expand (ray, leaf) pairs into element-wise (ray, primitive) pairs."""
+        bvh = self.bvh
+        counts = bvh.prim_count[leaf_nodes]
+        firsts = bvh.first_prim[leaf_nodes]
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        pair_rays = np.repeat(leaf_rays, counts)
+        # Position of each expanded pair within its leaf's primitive range.
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        within = np.arange(total, dtype=np.int64) - offsets
+        slot = np.repeat(firsts, counts) + within
+        pair_prims = bvh.prim_indices[slot]
+        return pair_rays, pair_prims

@@ -1,0 +1,64 @@
+"""Update workloads of Section 3.6 (Table 4).
+
+Both workloads permute the key buffer without changing the key *set*:
+
+* ``swap_adjacent_positions`` swaps pairs of neighbouring buffer positions —
+  because the buffer is unsorted, this moves keys to arbitrary far-away
+  coordinates and degrades a refitted BVH badly,
+* ``swap_adjacent_keys`` swaps pairs of rank-adjacent keys — keys move by ±1
+  in a dense key set, so the refitted bounding volumes barely change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def swap_adjacent_positions(
+    keys: np.ndarray,
+    num_swaps: int,
+    seed: int | np.random.Generator | None = 11,
+) -> np.ndarray:
+    """Swap ``num_swaps`` disjoint pairs of adjacent *buffer positions*."""
+    keys = np.asarray(keys, dtype=np.uint64).copy()
+    n = keys.shape[0]
+    max_pairs = n // 2
+    if num_swaps > max_pairs:
+        raise ValueError(f"cannot perform {num_swaps} disjoint swaps on {n} keys")
+    rng = _rng(seed)
+    pair_starts = rng.choice(max_pairs, size=num_swaps, replace=False) * 2
+    left = pair_starts
+    right = pair_starts + 1
+    keys[left], keys[right] = keys[right].copy(), keys[left].copy()
+    return keys
+
+
+def swap_adjacent_keys(
+    keys: np.ndarray,
+    num_swaps: int,
+    seed: int | np.random.Generator | None = 12,
+) -> np.ndarray:
+    """Swap ``num_swaps`` disjoint pairs of *rank-adjacent keys*.
+
+    The buffer positions of the two keys that are adjacent in sorted order
+    exchange their contents, which changes every affected key by ±1 on a
+    dense key set.
+    """
+    keys = np.asarray(keys, dtype=np.uint64).copy()
+    n = keys.shape[0]
+    max_pairs = n // 2
+    if num_swaps > max_pairs:
+        raise ValueError(f"cannot perform {num_swaps} disjoint swaps on {n} keys")
+    rng = _rng(seed)
+    rank_order = np.argsort(keys, kind="stable")
+    pair_starts = rng.choice(max_pairs, size=num_swaps, replace=False) * 2
+    pos_a = rank_order[pair_starts]
+    pos_b = rank_order[pair_starts + 1]
+    keys[pos_a], keys[pos_b] = keys[pos_b].copy(), keys[pos_a].copy()
+    return keys

@@ -1,0 +1,44 @@
+"""Zipf-distributed sampling (Section 4.8).
+
+The paper skews the lookup distribution with a Zipf distribution whose
+coefficient ranges from 0.0 (uniform) to 2.0 (extremely skewed).  NumPy's
+``random.zipf`` only supports coefficients strictly greater than 1 and has an
+unbounded support, so we implement the standard bounded Zipf sampler over the
+ranks ``1..n`` via inverse-CDF sampling, which covers the whole coefficient
+range the paper uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_probabilities(n: int, coefficient: float) -> np.ndarray:
+    """Probability of each rank ``1..n`` under a bounded Zipf distribution."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if coefficient < 0:
+        raise ValueError("the Zipf coefficient must be non-negative")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-coefficient)
+    return weights / weights.sum()
+
+
+def zipf_sample(
+    n: int,
+    size: int,
+    coefficient: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Draw ``size`` ranks from ``[0, n)`` following a bounded Zipf law.
+
+    ``coefficient == 0`` degenerates to the uniform distribution, matching
+    the leftmost data point of Figure 16.
+    """
+    rng = rng or np.random.default_rng()
+    if coefficient == 0.0:
+        return rng.integers(0, n, size=size, dtype=np.int64)
+    probabilities = zipf_probabilities(n, coefficient)
+    cdf = np.cumsum(probabilities)
+    uniforms = rng.random(size)
+    return np.searchsorted(cdf, uniforms, side="left").astype(np.int64)

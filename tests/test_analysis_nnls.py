@@ -1,0 +1,42 @@
+"""Tests for the NNLS traversal/intersection decomposition (Section 4.9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.nnls import decompose_range_lookup_cost
+
+
+class TestDecomposition:
+    def test_recovers_exact_linear_model(self):
+        entries = np.array([1, 4, 16, 64, 256, 1024], dtype=float)
+        times = 100.0 + 35.0 * entries
+        result = decompose_range_lookup_cost(entries, times)
+        assert result.traversal_time_ms == pytest.approx(100.0, rel=1e-6)
+        assert result.intersect_time_ms == pytest.approx(35.0, rel=1e-6)
+        assert result.residual == pytest.approx(0.0, abs=1e-6)
+
+    def test_non_negativity_enforced(self):
+        entries = np.array([1.0, 2.0, 4.0])
+        times = np.array([10.0, 8.0, 6.0])  # decreasing: a negative slope fit
+        result = decompose_range_lookup_cost(entries, times)
+        assert result.intersect_time_ms >= 0.0
+        assert result.traversal_time_ms >= 0.0
+
+    def test_traversal_dominates_flag(self):
+        entries = np.array([1.0, 2.0, 4.0, 8.0])
+        result = decompose_range_lookup_cost(entries, 50.0 + 1.0 * entries)
+        assert result.traversal_dominates
+
+    def test_noise_tolerated(self):
+        rng = np.random.default_rng(0)
+        entries = np.array([1, 4, 16, 64, 256], dtype=float)
+        times = 80.0 + 20.0 * entries + rng.normal(0, 1.0, size=entries.shape)
+        result = decompose_range_lookup_cost(entries, times)
+        assert result.traversal_time_ms == pytest.approx(80.0, rel=0.2)
+        assert result.intersect_time_ms == pytest.approx(20.0, rel=0.05)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            decompose_range_lookup_cost(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            decompose_range_lookup_cost(np.array([1.0, 2.0]), np.array([1.0]))

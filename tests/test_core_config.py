@@ -1,0 +1,105 @@
+"""Tests for RXConfig and the key decomposition."""
+
+import pytest
+
+from repro.core.config import (
+    KeyDecomposition,
+    KeyMode,
+    PointRayMode,
+    PrimitiveType,
+    RangeRayMode,
+    RXConfig,
+    UpdatePolicy,
+)
+
+
+class TestKeyDecomposition:
+    def test_default_is_paper_split(self):
+        decomposition = KeyDecomposition()
+        assert (decomposition.x_bits, decomposition.y_bits, decomposition.z_bits) == (23, 23, 18)
+        assert decomposition.total_bits == 64
+
+    def test_max_key_full_range(self):
+        assert KeyDecomposition().max_key == (1 << 64) - 1
+
+    def test_max_key_partial_range(self):
+        assert KeyDecomposition(16, 10, 0).max_key == (1 << 26) - 1
+
+    def test_component_limited_to_23_bits(self):
+        with pytest.raises(ValueError):
+            KeyDecomposition(x_bits=24)
+
+    def test_x_component_required(self):
+        with pytest.raises(ValueError):
+            KeyDecomposition(x_bits=0, y_bits=23, z_bits=18)
+
+    def test_label_round_trip(self):
+        decomposition = KeyDecomposition(20, 6, 0)
+        assert decomposition.label() == "20+6+0"
+        assert KeyDecomposition.from_label("20+6+0") == decomposition
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(ValueError):
+            KeyDecomposition.from_label("20+6")
+
+
+class TestRXConfigValidation:
+    def test_paper_default_is_valid(self):
+        RXConfig.paper_default().validate()
+
+    def test_default_matches_selected_configuration(self):
+        config = RXConfig.paper_default()
+        assert config.key_mode is KeyMode.THREE_D
+        assert config.primitive is PrimitiveType.TRIANGLE
+        assert config.point_ray_mode is PointRayMode.PERPENDICULAR
+        assert config.range_ray_mode is RangeRayMode.PARALLEL_FROM_OFFSET
+        assert config.compaction is True
+        assert config.update_policy is UpdatePolicy.REBUILD
+
+    def test_extended_mode_rejects_spheres(self):
+        config = RXConfig(
+            key_mode=KeyMode.EXTENDED,
+            primitive=PrimitiveType.SPHERE,
+            point_ray_mode=PointRayMode.PERPENDICULAR,
+            range_ray_mode=RangeRayMode.PARALLEL_FROM_ZERO,
+        )
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_extended_mode_rejects_offset_rays(self):
+        with pytest.raises(ValueError):
+            RXConfig(
+                key_mode=KeyMode.EXTENDED,
+                point_ray_mode=PointRayMode.PARALLEL_FROM_OFFSET,
+            ).validate()
+        with pytest.raises(ValueError):
+            RXConfig(
+                key_mode=KeyMode.EXTENDED,
+                range_ray_mode=RangeRayMode.PARALLEL_FROM_OFFSET,
+            ).validate()
+
+    def test_compaction_conflicts_with_updates(self):
+        with pytest.raises(ValueError):
+            RXConfig(compaction=True, allow_updates=True).validate()
+
+    def test_refit_requires_update_flag(self):
+        with pytest.raises(ValueError):
+            RXConfig(update_policy=UpdatePolicy.REFIT, allow_updates=False, compaction=False).validate()
+
+    def test_with_updates_enabled_helper(self):
+        config = RXConfig.paper_default().with_updates_enabled()
+        config.validate()
+        assert config.allow_updates and not config.compaction
+        assert config.update_policy is UpdatePolicy.REFIT
+
+    def test_sphere_radius_bounds(self):
+        with pytest.raises(ValueError):
+            RXConfig(sphere_radius=0.6).validate()
+
+    def test_value_bytes_restricted(self):
+        with pytest.raises(ValueError):
+            RXConfig(value_bytes=2).validate()
+
+    def test_max_rays_per_range_positive(self):
+        with pytest.raises(ValueError):
+            RXConfig(max_rays_per_range=0).validate()

@@ -1,0 +1,108 @@
+"""Tests for ray construction helpers and result post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import MISS_SENTINEL
+from repro.core.rays import (
+    expand_multi_row_ranges,
+    parallel_rays_from_offset,
+    parallel_rays_from_zero,
+    perpendicular_point_rays,
+)
+from repro.core.results import (
+    aggregate_values,
+    collect_row_ids,
+    first_row_per_lookup,
+    hits_per_lookup,
+)
+from repro.rtx.traversal import HitRecords
+
+
+class TestRayConstruction:
+    def test_perpendicular_rays(self):
+        anchors = np.array([[5, 2, 3]], dtype=float)
+        rays = perpendicular_point_rays(anchors)
+        assert rays.origins[0].tolist() == pytest.approx([5.0, 2.0, 2.5])
+        assert rays.directions[0].tolist() == [0.0, 0.0, 1.0]
+        assert rays.tmax[0] == pytest.approx(1.0)
+
+    def test_offset_rays_parameters_match_table2(self):
+        rays = parallel_rays_from_offset([0.0], [0.0], [1.5], [3.5])
+        assert rays.origins[0, 0] == pytest.approx(1.5)
+        assert rays.tmin[0] == pytest.approx(0.0)
+        assert rays.tmax[0] == pytest.approx(2.0)
+
+    def test_zero_rays_parameters_match_table2(self):
+        rays = parallel_rays_from_zero([0.0], [0.0], [1.5], [3.5])
+        assert rays.origins[0, 0] == pytest.approx(0.0)
+        assert rays.tmin[0] == pytest.approx(1.5)
+        assert rays.tmax[0] == pytest.approx(3.5)
+
+    def test_lookup_ids_default_and_explicit(self):
+        rays = parallel_rays_from_offset([0, 0], [0, 0], [0, 1], [1, 2], lookup_ids=[7, 7])
+        assert rays.lookup_ids.tolist() == [7, 7]
+
+
+class TestMultiRowExpansion:
+    def test_single_row(self):
+        lookup_ids, rows, first, last = expand_multi_row_ranges([3], [3], 16)
+        assert rows.tolist() == [3]
+        assert first.tolist() == [True] and last.tolist() == [True]
+
+    def test_multiple_rows_enumerated(self):
+        lookup_ids, rows, first, last = expand_multi_row_ranges([3], [6], 16)
+        assert rows.tolist() == [3, 4, 5, 6]
+        assert first.tolist() == [True, False, False, False]
+        assert last.tolist() == [False, False, False, True]
+
+    def test_multiple_lookups_interleaved(self):
+        lookup_ids, rows, _, _ = expand_multi_row_ranges([0, 10], [1, 10], 16)
+        assert lookup_ids.tolist() == [0, 0, 1]
+        assert rows.tolist() == [0, 1, 10]
+
+    def test_cap_enforced(self):
+        with pytest.raises(ValueError):
+            expand_multi_row_ranges([0], [100], max_rays_per_range=10)
+
+    def test_inverted_rows_rejected(self):
+        with pytest.raises(ValueError):
+            expand_multi_row_ranges([5], [4], 16)
+
+
+def _hits(ray_indices, prim_indices, lookup_ids, num_rays) -> HitRecords:
+    return HitRecords(
+        ray_indices=np.asarray(ray_indices, dtype=np.int64),
+        prim_indices=np.asarray(prim_indices, dtype=np.int64),
+        lookup_ids=np.asarray(lookup_ids, dtype=np.int64),
+        num_rays=num_rays,
+    )
+
+
+class TestResultHelpers:
+    def test_hits_per_lookup_counts(self):
+        hits = _hits([0, 0, 2], [10, 11, 12], [0, 0, 2], 3)
+        assert hits_per_lookup(hits, 4).tolist() == [2, 0, 1, 0]
+
+    def test_first_row_per_lookup_uses_miss_sentinel(self):
+        hits = _hits([1], [42], [1], 2)
+        rows = first_row_per_lookup(hits, 3)
+        assert rows[0] == MISS_SENTINEL
+        assert rows[1] == 42
+        assert rows[2] == MISS_SENTINEL
+
+    def test_aggregate_values_sums_hits(self):
+        values = np.array([0, 10, 20, 30], dtype=np.uint64)
+        hits = _hits([0, 0], [1, 3], [0, 0], 1)
+        assert aggregate_values(hits, values) == 40
+
+    def test_aggregate_empty(self):
+        values = np.arange(4, dtype=np.uint64)
+        assert aggregate_values(_hits([], [], [], 1), values) == 0
+
+    def test_collect_row_ids_groups_by_lookup(self):
+        hits = _hits([0, 1, 1], [5, 6, 7], [0, 1, 1], 2)
+        collected = collect_row_ids(hits, 3)
+        assert collected[0].tolist() == [5]
+        assert sorted(collected[1].tolist()) == [6, 7]
+        assert collected[2].size == 0

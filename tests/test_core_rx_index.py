@@ -1,0 +1,228 @@
+"""Tests for the RX index itself."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import MISS_SENTINEL
+from repro.core import (
+    KeyDecomposition,
+    KeyMode,
+    PointRayMode,
+    PrimitiveType,
+    RangeRayMode,
+    RXConfig,
+    RXIndex,
+    UpdatePolicy,
+)
+from repro.workloads import dense_shuffled_keys, point_lookups
+from repro.workloads.table import SecondaryIndexWorkload
+from repro.workloads.updates import swap_adjacent_keys, swap_adjacent_positions
+
+
+class TestBuild:
+    def test_build_reports_structure(self, small_workload):
+        index = RXIndex()
+        result = index.build(small_workload.keys, small_workload.values)
+        assert result.num_keys == small_workload.num_keys
+        assert result.stats["bvh_nodes"] > 0
+        assert result.stats["compacted"] is True
+
+    def test_lookup_before_build_fails(self):
+        with pytest.raises(RuntimeError):
+            RXIndex().point_lookup(np.array([1], dtype=np.uint64))
+
+    def test_update_before_build_fails(self):
+        with pytest.raises(RuntimeError):
+            RXIndex().update(np.array([1], dtype=np.uint64))
+
+    def test_naive_mode_rejects_large_keys(self):
+        index = RXIndex(RXConfig(key_mode=KeyMode.NAIVE))
+        with pytest.raises(ValueError):
+            index.build(np.array([2**24], dtype=np.uint64))
+
+    def test_rebuild_releases_previous_accel(self, small_keys):
+        index = RXIndex()
+        index.build(small_keys)
+        used_once = index.context.memory.current_bytes
+        index.build(small_keys)
+        assert index.context.memory.current_bytes == used_once
+
+    def test_empty_key_array_rejected(self):
+        with pytest.raises(ValueError):
+            RXIndex().build(np.array([], dtype=np.uint64))
+
+
+class TestPointLookups:
+    def test_results_match_reference(self, small_workload):
+        index = RXIndex()
+        index.build(small_workload.keys, small_workload.values)
+        run = index.point_lookup(small_workload.point_queries)
+        assert run.aggregate == small_workload.reference_point_aggregate()
+        assert np.array_equal(run.hits_per_lookup, small_workload.reference_point_hits())
+
+    def test_misses_marked_with_sentinel(self, small_keys):
+        index = RXIndex()
+        index.build(small_keys)
+        run = index.point_lookup(np.array([10**9, int(small_keys[0])], dtype=np.uint64))
+        assert run.result_rows[0] == MISS_SENTINEL
+        assert small_keys[int(run.result_rows[1])] == small_keys[0]
+
+    def test_duplicate_keys_return_all_rows(self):
+        keys = np.array([7, 7, 7, 9], dtype=np.uint64)
+        index = RXIndex()
+        index.build(keys)
+        run = index.point_lookup(np.array([7], dtype=np.uint64))
+        assert run.hits_per_lookup[0] == 3
+
+    def test_collect_point_matches(self):
+        keys = np.array([4, 4, 8], dtype=np.uint64)
+        index = RXIndex()
+        index.build(keys)
+        matches = index.collect_point_matches(np.array([4, 8, 5], dtype=np.uint64))
+        assert sorted(matches[0].tolist()) == [0, 1]
+        assert matches[1].tolist() == [2]
+        assert matches[2].size == 0
+
+    def test_stats_populated(self, small_workload):
+        index = RXIndex()
+        index.build(small_workload.keys, small_workload.values)
+        run = index.point_lookup(small_workload.point_queries)
+        assert run.stats["node_visits_per_ray"] > 0
+        assert run.stats["rays_per_lookup"] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("mode", list(PointRayMode))
+    def test_every_point_ray_mode_is_correct(self, small_workload, mode):
+        index = RXIndex(RXConfig(point_ray_mode=mode))
+        index.build(small_workload.keys, small_workload.values)
+        run = index.point_lookup(small_workload.point_queries)
+        assert run.aggregate == small_workload.reference_point_aggregate()
+
+    @pytest.mark.parametrize("primitive", list(PrimitiveType))
+    def test_every_primitive_type_is_correct(self, small_workload, primitive):
+        index = RXIndex(RXConfig(primitive=primitive))
+        index.build(small_workload.keys, small_workload.values)
+        run = index.point_lookup(small_workload.point_queries)
+        assert run.aggregate == small_workload.reference_point_aggregate()
+
+    def test_64_bit_keys(self):
+        keys = dense_shuffled_keys(256) + np.uint64(1 << 45)
+        queries = point_lookups(keys, 64, seed=2)
+        workload = SecondaryIndexWorkload.from_keys(keys, point_queries=queries)
+        index = RXIndex()
+        index.build(workload.keys, workload.values)
+        run = index.point_lookup(queries)
+        assert run.aggregate == workload.reference_point_aggregate()
+
+
+class TestRangeLookups:
+    def test_results_match_reference(self, small_workload):
+        index = RXIndex()
+        index.build(small_workload.keys, small_workload.values)
+        run = index.range_lookup(small_workload.range_lowers, small_workload.range_uppers)
+        assert run.aggregate == small_workload.reference_range_aggregate()
+        assert np.array_equal(run.hits_per_lookup, small_workload.reference_range_hits())
+
+    def test_zero_origin_range_rays_are_correct(self, small_workload):
+        index = RXIndex(RXConfig(range_ray_mode=RangeRayMode.PARALLEL_FROM_ZERO))
+        index.build(small_workload.keys, small_workload.values)
+        run = index.range_lookup(small_workload.range_lowers, small_workload.range_uppers)
+        assert run.aggregate == small_workload.reference_range_aggregate()
+
+    def test_multi_row_range_in_narrow_decomposition(self):
+        keys = dense_shuffled_keys(256)
+        config = RXConfig(decomposition=KeyDecomposition(4, 8, 0), max_rays_per_range=64)
+        index = RXIndex(config)
+        workload = SecondaryIndexWorkload.from_keys(
+            keys,
+            range_lowers=np.array([10], dtype=np.uint64),
+            range_uppers=np.array([60], dtype=np.uint64),
+        )
+        index.build(workload.keys, workload.values)
+        run = index.range_lookup(workload.range_lowers, workload.range_uppers)
+        assert run.aggregate == workload.reference_range_aggregate()
+        assert run.stats["rays_per_lookup"] > 1
+
+    def test_mismatched_bounds_rejected(self, small_keys):
+        index = RXIndex()
+        index.build(small_keys)
+        with pytest.raises(ValueError):
+            index.range_lookup(np.array([1], dtype=np.uint64), np.array([2, 3], dtype=np.uint64))
+
+
+class TestUpdates:
+    def test_rebuild_policy_reindexes(self, small_keys):
+        index = RXIndex()
+        workload = SecondaryIndexWorkload.from_keys(small_keys)
+        index.build(workload.keys, workload.values)
+        updated = swap_adjacent_positions(small_keys, 32, seed=3)
+        outcome = index.update(updated)
+        assert outcome.policy is UpdatePolicy.REBUILD
+        run = index.point_lookup(updated[:16])
+        assert (run.hits_per_lookup > 0).all()
+
+    def test_refit_policy_keeps_results_correct(self, small_keys):
+        config = RXConfig.paper_default().with_updates_enabled()
+        index = RXIndex(config)
+        workload = SecondaryIndexWorkload.from_keys(small_keys)
+        index.build(workload.keys, workload.values)
+        updated = swap_adjacent_keys(small_keys, 32, seed=4)
+        outcome = index.update(updated)
+        assert outcome.policy is UpdatePolicy.REFIT
+        updated_workload = SecondaryIndexWorkload(
+            keys=updated, values=workload.values, point_queries=updated[:64]
+        )
+        run = index.point_lookup(updated_workload.point_queries)
+        assert run.aggregate == updated_workload.reference_point_aggregate()
+
+    def test_refit_position_swaps_degrade_bvh(self, small_keys):
+        config = RXConfig.paper_default().with_updates_enabled()
+        index = RXIndex(config)
+        index.build(small_keys)
+        baseline = index.point_lookup(small_keys[:128]).stats["node_visits_per_ray"]
+        updated = swap_adjacent_positions(small_keys, len(small_keys) // 4, seed=5)
+        outcome = index.update(updated)
+        degraded = index.point_lookup(updated[:128]).stats["node_visits_per_ray"]
+        assert outcome.surface_area_growth > 1.0
+        assert degraded > baseline
+
+    def test_refit_rejects_resize(self, small_keys):
+        config = RXConfig.paper_default().with_updates_enabled()
+        index = RXIndex(config)
+        index.build(small_keys)
+        with pytest.raises(ValueError):
+            index.update(small_keys[:-1])
+
+
+class TestCosting:
+    def test_memory_footprint_scales(self, small_keys):
+        index = RXIndex()
+        index.build(small_keys)
+        small = index.memory_footprint()
+        large = index.memory_footprint(target_keys=2**26)
+        assert large.final_bytes > small.final_bytes
+        assert large.build_overhead_bytes > 0
+
+    def test_build_profiles_scale_with_target(self, small_keys):
+        index = RXIndex()
+        index.build(small_keys)
+        small = index.build_profiles()[0]
+        large = index.build_profiles(target_keys=2**26)[0]
+        assert large.bytes_accessed > small.bytes_accessed
+
+    def test_lookup_profile_contains_rt_work(self, small_workload):
+        index = RXIndex()
+        index.build(small_workload.keys, small_workload.values)
+        run = index.point_lookup(small_workload.point_queries)
+        profile = index.lookup_profile(run, target_keys=2**26, target_lookups=2**27)
+        assert profile.rt_tests > 0
+        assert profile.threads == 2**27
+        assert profile.working_set_bytes > 0
+
+    def test_lookup_profile_software_primitives_add_instructions(self, small_workload):
+        tri = RXIndex(RXConfig(primitive=PrimitiveType.TRIANGLE))
+        box = RXIndex(RXConfig(primitive=PrimitiveType.AABB))
+        for index in (tri, box):
+            index.build(small_workload.keys, small_workload.values)
+        tri_profile = tri.lookup_profile(tri.point_lookup(small_workload.point_queries))
+        box_profile = box.lookup_profile(box.point_lookup(small_workload.point_queries))
+        assert box_profile.instructions > tri_profile.instructions

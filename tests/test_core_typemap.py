@@ -1,0 +1,97 @@
+"""Tests for order-preserving type mappings."""
+
+import numpy as np
+import pytest
+
+from repro.core.typemap import (
+    composite_to_uint64,
+    float32_to_uint64,
+    float64_to_uint64,
+    int64_to_uint64,
+    string_to_uint64,
+    uint64_to_float64,
+    uint64_to_int64,
+)
+
+
+class TestIntegerMapping:
+    def test_round_trip(self):
+        values = np.array([-(2**62), -5, 0, 7, 2**62], dtype=np.int64)
+        assert np.array_equal(uint64_to_int64(int64_to_uint64(values)), values)
+
+    def test_order_preserved(self):
+        values = np.array([-100, -1, 0, 1, 100], dtype=np.int64)
+        mapped = int64_to_uint64(values)
+        assert np.all(np.diff(mapped.astype(object)) > 0)
+
+    def test_extremes(self):
+        values = np.array([np.iinfo(np.int64).min, np.iinfo(np.int64).max], dtype=np.int64)
+        mapped = int64_to_uint64(values)
+        assert mapped[0] == 0
+        assert mapped[1] == np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class TestFloatMapping:
+    def test_round_trip(self):
+        values = np.array([-1e300, -1.5, -0.0, 0.0, 2.25, 1e300])
+        restored = uint64_to_float64(float64_to_uint64(values))
+        assert np.allclose(restored, values)
+
+    def test_order_preserved(self):
+        values = np.array([-np.inf, -1e10, -2.5, 0.0, 1e-10, 3.0, np.inf])
+        mapped = float64_to_uint64(values)
+        assert np.all(np.diff(mapped.astype(object)) > 0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            float64_to_uint64(np.array([np.nan]))
+        with pytest.raises(ValueError):
+            float32_to_uint64(np.array([np.nan], dtype=np.float32))
+
+    def test_float32_order_preserved(self):
+        values = np.array([-7.5, -0.25, 0.0, 0.5, 123.0], dtype=np.float32)
+        mapped = float32_to_uint64(values)
+        assert np.all(np.diff(mapped.astype(object)) > 0)
+
+
+class TestStringMapping:
+    def test_lexicographic_order(self):
+        strings = ["apple", "apples", "banana", "cherry"]
+        mapped = string_to_uint64(strings)
+        assert np.all(np.diff(mapped.astype(object)) > 0)
+
+    def test_shared_prefix_collides(self):
+        # Only the first eight characters are indexed; the rest must be
+        # compared in software, as the paper notes.
+        mapped = string_to_uint64(["averylongkeyA", "averylongkeyB"])
+        assert mapped[0] == mapped[1]
+
+    def test_num_chars_validation(self):
+        with pytest.raises(ValueError):
+            string_to_uint64(["x"], num_chars=9)
+
+    def test_short_strings_padded(self):
+        mapped = string_to_uint64(["a", "b"])
+        assert mapped[0] < mapped[1]
+
+
+class TestCompositeMapping:
+    def test_lexicographic_packing(self):
+        year = np.array([2023, 2023, 2024])
+        month = np.array([1, 12, 1])
+        packed = composite_to_uint64([year, month], [16, 8])
+        assert packed[0] < packed[1] < packed[2]
+
+    def test_width_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            composite_to_uint64([np.array([1])], [65])
+
+    def test_component_exceeding_width_rejected(self):
+        with pytest.raises(ValueError):
+            composite_to_uint64([np.array([256])], [8])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            composite_to_uint64([np.array([1]), np.array([1, 2])], [8, 8])
+        with pytest.raises(ValueError):
+            composite_to_uint64([np.array([1])], [8, 8])

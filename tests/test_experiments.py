@@ -1,0 +1,317 @@
+"""Integration tests: every experiment runs and preserves the paper's shape.
+
+Each test runs one of the per-figure experiment modules at the ``tiny``
+simulation scale and asserts the *qualitative* claim the paper makes for that
+figure or table (orderings, monotonicity, crossovers) rather than absolute
+numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    ablation_builders,
+    fig03_key_modes,
+    fig06_ray_modes,
+    fig07_primitives,
+    fig08_decomposition,
+    fig10_scaling,
+    fig11_multiplicity,
+    fig12_sorting,
+    fig13_batching,
+    fig14_hitrate,
+    fig15_keysize,
+    fig16_skew,
+    fig17_range,
+    fig18_hardware,
+    table03_range_origin,
+    table04_updates,
+    table05_warps,
+    table06_memory,
+    table07_skew_profile,
+)
+
+SCALE = "tiny"
+
+
+def test_every_experiment_is_registered():
+    assert len(ALL_EXPERIMENTS) == 19
+
+
+def test_every_experiment_produces_text():
+    # A cheap end-to-end check over the registry itself.
+    result = table06_memory.run(scale=SCALE)
+    assert "table6" in result.to_text()
+
+
+class TestFig3KeyModes:
+    def test_naive_mode_not_available_beyond_2_23(self):
+        result = fig03_key_modes.run(scale=SCALE)
+        naive = result.series_by_label("naive")
+        assert naive.y[-1] is None      # 2^26 keys
+        assert naive.y[0] is not None   # 2^21 keys
+
+    def test_extended_mode_degrades_for_large_key_ranges(self):
+        result = fig03_key_modes.run(scale=SCALE)
+        ext = result.series_by_label("ext")
+        three_d = result.series_by_label("3d")
+        # 3D Mode stays flat; Extended Mode blows up once the key-range ratio
+        # grows large enough (the last sweep point), and is already worse than
+        # 3D Mode at the paper's largest build size.
+        assert ext.y[-1] > 3 * three_d.y[-1]
+        assert ext.y[-2] > 1.1 * three_d.y[-2]
+        assert max(three_d.y) < 3 * min(three_d.y)
+
+    def test_stride_shifts_extended_mode_onset(self):
+        result = fig03_key_modes.run_fig3b(scale=SCALE)
+        stride1 = result.series_by_label("ext stride 1")
+        stride4 = result.series_by_label("ext stride 4")
+        # With stride 4 the key-range ratio is 4x larger, so the degradation
+        # sets in at smaller build sizes (compare one sweep point below the
+        # stride-1 onset).
+        assert stride4.y[-3] > stride1.y[-3] * 1.5
+
+
+class TestFig6RayModes:
+    def test_perpendicular_beats_parallel_from_zero(self):
+        result = fig06_ray_modes.run(scale=SCALE)
+        for mode in ("naive", "ext", "3d"):
+            parallel = result.series_by_label(f"{mode} / parallel from zero")
+            perpendicular = result.series_by_label(f"{mode} / perpendicular")
+            pairs = [
+                (p, q) for p, q in zip(parallel.y, perpendicular.y) if p is not None and q is not None
+            ]
+            assert all(par > perp for par, perp in pairs)
+
+
+class TestTable3RangeOrigin:
+    def test_offset_origin_wins_everywhere(self):
+        result = table03_range_origin.run(scale=SCALE)
+        offset = result.series_by_label("parallel from offset")
+        zero = result.series_by_label("parallel from zero")
+        assert all(z > o for o, z in zip(offset.y, zero.y))
+
+
+class TestFig7Primitives:
+    def test_triangles_fastest_for_lookups(self):
+        result = fig07_primitives.run(scale=SCALE, panel="lookup")
+        tri = result.series_by_label("triangle (compacted)").y[-1]
+        sphere = result.series_by_label("sphere (compacted)").y[-1]
+        aabb = result.series_by_label("aabb (compacted)").y[-1]
+        assert tri < sphere and tri < aabb
+
+    def test_compaction_changes_lookup_time_only_marginally(self):
+        result = fig07_primitives.run(scale=SCALE, panel="lookup")
+        compacted = result.series_by_label("triangle (compacted)").y[-1]
+        uncompacted = result.series_by_label("triangle (uncompacted)").y[-1]
+        assert compacted == pytest.approx(uncompacted, rel=0.15)
+
+    def test_memory_uncompacted_triangles_largest(self):
+        result = fig07_primitives.run(scale=SCALE, panel="memory")
+        last = {s.label: s.y[-1] for s in result.series}
+        assert last["triangle (uncompacted)"] == max(last.values())
+        assert last["sphere (compacted)"] > last["triangle (compacted)"]
+
+    def test_build_panel_monotone_in_keys(self):
+        result = fig07_primitives.run(scale=SCALE, panel="build")
+        for series in result.series:
+            assert series.y[-1] > series.y[0]
+
+    def test_invalid_panel_rejected(self):
+        with pytest.raises(ValueError):
+            fig07_primitives.run(scale=SCALE, panel="energy")
+
+
+class TestFig8Fig9Decomposition:
+    def test_z_heavy_decompositions_slow_point_lookups(self):
+        result = fig08_decomposition.run(scale=SCALE)
+        series = result.series[0]
+        by_label = dict(zip(series.x, series.y))
+        assert by_label["16+0+10"] >= by_label["16+10+0"]
+
+    def test_more_x_bits_speed_up_range_lookups(self):
+        result = fig08_decomposition.run_fig9(scale=SCALE)
+        for series in result.series:
+            assert series.y[-1] <= series.y[0]
+
+
+class TestTable4Updates:
+    def test_update_time_independent_of_swaps_and_cheaper_than_rebuild(self):
+        result = table04_updates.run(scale=SCALE)
+        update = result.series_by_label("swap adjacent positions: update")
+        rebuild = result.series_by_label("full rebuild (update / lookups / total)")
+        assert max(update.y) == pytest.approx(min(update.y), rel=0.01)
+        assert rebuild.y[0] > 2 * update.y[0]
+
+    def test_position_swaps_degrade_lookups_but_key_swaps_do_not(self):
+        result = table04_updates.run(scale=SCALE)
+        position = result.series_by_label("swap adjacent positions: lookups")
+        key = result.series_by_label("swap adjacent keys: lookups")
+        assert position.y[-1] > 2 * position.y[0]
+        assert max(key.y) == pytest.approx(min(key.y), rel=0.05)
+
+
+class TestFig10Scaling:
+    def test_throughput_saturates_with_many_lookups(self):
+        result = fig10_scaling.run(scale=SCALE)
+        rx = result.series_by_label("RX")
+        assert rx.y[-1] > rx.y[0]
+
+    def test_rx_wins_small_key_sets_and_loses_large_ones(self):
+        result = fig10_scaling.run_fig10b(scale=SCALE)
+        throughput = {s.label: s.y for s in result.series}
+        #
+
+        assert throughput["RX"][0] == max(s[0] for s in throughput.values())
+        assert throughput["RX"][-1] < throughput["HT"][-1]
+        assert throughput["RX"][-1] < throughput["B+"][-1]
+
+    def test_rx_build_is_most_expensive(self):
+        result = fig10_scaling.run_fig10c(scale=SCALE)
+        last = {s.label: s.y[-1] for s in result.series if "unsorted" in s.label}
+        assert last["RX (unsorted inserts)"] == max(last.values())
+
+
+class TestTable5Warps:
+    def test_warps_and_bandwidth_increase_with_batch_size(self):
+        result = table05_warps.run(scale=SCALE)
+        warps = result.series_by_label("active warps per SM").y
+        bandwidth = result.series_by_label("memory BW").y
+        assert all(a <= b for a, b in zip(warps, warps[1:]))
+        assert all(a <= b for a, b in zip(bandwidth, bandwidth[1:]))
+        assert warps[-1] <= 16.0
+
+
+class TestTable6Memory:
+    def test_paper_relationships(self):
+        result = table06_memory.run(scale=SCALE)
+        final = dict(zip(result.series[0].x, result.series[0].y))
+        overhead = dict(zip(result.series[1].x, result.series[1].y))
+        assert final["RX"] == max(final.values())
+        assert final["SA"] == min(final.values())
+        assert final["RX"] > 1.8 * final["B+"]
+        assert overhead["HT"] == 0.0
+        assert overhead["RX"] == max(overhead.values())
+
+
+class TestFig11Multiplicity:
+    def test_duplicates_reduce_normalised_lookup_time(self):
+        result = fig11_multiplicity.run(scale=SCALE)
+        for series in result.series:
+            assert series.y[-1] < series.y[0]
+
+
+class TestFig12Sorting:
+    def test_sorted_lookups_help_and_sorted_inserts_do_not(self):
+        result = fig12_sorting.run(scale=SCALE)
+        for name in ("HT", "B+", "SA", "RX"):
+            series = dict(zip(result.series_by_label(name).x, result.series_by_label(name).y))
+            assert series["sorted lookups"] < series["both unsorted"]
+            assert series["sorted inserts"] == pytest.approx(series["both unsorted"], rel=0.05)
+
+    def test_sort_phase_is_cheap(self):
+        result = fig12_sorting.run(scale=SCALE)
+        sort = dict(zip(result.series_by_label("sort").x, result.series_by_label("sort").y))
+        rx = dict(zip(result.series_by_label("RX").x, result.series_by_label("RX").y))
+        assert sort["sorted lookups"] < rx["both unsorted"]
+
+
+class TestFig13Batching:
+    def test_many_small_batches_are_slow(self):
+        result = fig13_batching.run(scale=SCALE)
+        for series in result.series:
+            assert series.y[-1] > series.y[0]
+
+
+class TestFig14HitRate:
+    def test_rx_speeds_up_with_misses_and_overtakes_tree_indexes(self):
+        result = fig14_hitrate.run(scale=SCALE)
+        rx = result.series_by_label("RX").y
+        btree = result.series_by_label("B+").y
+        sa = result.series_by_label("SA").y
+        assert rx[-1] < 0.45 * rx[0]          # ~3x faster at hit rate 0
+        assert rx[0] > btree[0]               # slower when everything hits
+        assert rx[-1] < btree[-1]             # faster when everything misses
+        assert rx[-1] < sa[-1]
+
+
+class TestFig15KeySize:
+    def test_rx_insensitive_to_key_size_but_baselines_grow(self):
+        lookup = fig15_keysize.run(scale=SCALE, panel="lookup")
+        rx = lookup.series_by_label("RX").y
+        sa = lookup.series_by_label("SA").y
+        ht = lookup.series_by_label("HT").y
+        assert rx[1] == pytest.approx(rx[0], rel=0.1)
+        assert ht[1] > ht[0]
+        assert sa[1] >= sa[0]
+        memory = fig15_keysize.run(scale=SCALE, panel="memory")
+        assert memory.series_by_label("B+").y[1] is None
+        assert memory.series_by_label("HT").y[1] > memory.series_by_label("HT").y[0]
+        assert memory.series_by_label("RX").y[1] == pytest.approx(
+            memory.series_by_label("RX").y[0], rel=0.05
+        )
+
+
+class TestFig16Skew:
+    def test_skew_helps_everyone_and_rx_overtakes_order_based_indexes(self):
+        result = fig16_skew.run(scale=SCALE)
+        for name in ("HT", "B+", "SA", "RX"):
+            series = result.series_by_label(name).y
+            assert series[-1] < series[0]
+        rx = result.series_by_label("RX").y
+        btree = result.series_by_label("B+").y
+        assert rx[0] > btree[0]
+        assert rx[-1] < btree[-1]
+
+
+class TestTable7SkewProfile:
+    def test_cache_hit_rate_rises_and_traffic_falls(self):
+        result = table07_skew_profile.run(scale=SCALE)
+        rx_hits = result.series_by_label("RX L2 hit rate").y
+        rx_bytes = result.series_by_label("RX memory read").y
+        assert all(a <= b for a, b in zip(rx_hits, rx_hits[1:]))
+        assert all(a >= b for a, b in zip(rx_bytes, rx_bytes[1:]))
+
+    def test_rx_executes_far_fewer_instructions_than_btree(self):
+        result = table07_skew_profile.run(scale=SCALE)
+        rx = result.series_by_label("RX instructions").y[0]
+        btree = result.series_by_label("B+ instructions").y[0]
+        assert btree > 10 * rx
+
+
+class TestFig17Range:
+    def test_btree_wins_ranges_and_rx_normalised_time_decreases(self):
+        result = fig17_range.run(scale=SCALE)
+        btree = result.series_by_label("B+").y
+        rx = result.series_by_label("RX").y
+        sa = result.series_by_label("SA").y
+        assert btree[-1] < rx[-1]
+        assert rx[-1] < rx[0]
+        # RX loses ground against SA as the ranges widen ("RX initially
+        # outperforms SA for small range lookups, but then quickly loses its
+        # advantage") — assert the relative trend.
+        assert rx[0] / sa[0] < rx[-1] / sa[-1]
+        assert "traversal" in result.notes
+
+
+class TestFig18Hardware:
+    def test_newer_gpus_are_faster_and_rx_gains_most_when_sorted(self):
+        result = fig18_hardware.run(scale=SCALE)
+        for series in result.series:
+            values = dict(zip(series.x, series.y))
+            assert values["RTX 4090"] < values["RTX 2080 Ti"]
+        factors = fig18_hardware.improvement_factors(result)
+        sorted_factors = {k: v for k, v in factors.items() if "sorted" in k and "unsorted" not in k}
+        assert max(sorted_factors, key=sorted_factors.get).startswith("RX")
+
+
+class TestAblation:
+    def test_all_builders_produce_comparable_lookup_costs(self):
+        result = ablation_builders.run(scale=SCALE)
+        times = result.series_by_label("lookup time per builder").y
+        assert max(times) < 3 * min(times)
+
+    def test_leaf_size_sweep_runs(self):
+        result = ablation_builders.run(scale=SCALE)
+        assert len(result.series_by_label("lookup time per leaf size").y) == 5

@@ -1,0 +1,88 @@
+"""Tests for the L2 cache model and the occupancy/launch model."""
+
+import pytest
+
+from repro.gpusim.cache import CacheModel
+from repro.gpusim.device import RTX_4090
+from repro.gpusim.kernel import OccupancyModel
+
+
+class TestCacheModel:
+    def setup_method(self):
+        self.cache = CacheModel(RTX_4090)
+
+    def test_small_working_set_fully_cached(self):
+        assert self.cache.hit_rate(1 * 1024 * 1024) == pytest.approx(1.0)
+
+    def test_large_working_set_low_hit_rate(self):
+        small = self.cache.hit_rate(10 * 1024**3)
+        assert small < 0.3
+
+    def test_hit_rate_monotone_in_working_set(self):
+        rates = [self.cache.hit_rate(ws) for ws in (2**20, 2**26, 2**30, 2**34)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_locality_raises_hit_rate(self):
+        cold = self.cache.hit_rate(10 * 1024**3, locality=0.0)
+        hot = self.cache.hit_rate(10 * 1024**3, locality=0.9)
+        assert hot > cold
+        assert hot <= 1.0
+
+    def test_zero_working_set(self):
+        assert self.cache.hit_rate(0) == 1.0
+
+    def test_dram_bytes_filters_by_hit_rate(self):
+        dram_small = self.cache.dram_bytes(1e9, working_set_bytes=1e6)
+        dram_large = self.cache.dram_bytes(1e9, working_set_bytes=1e10)
+        assert dram_small < dram_large
+
+    def test_dram_bytes_includes_compulsory_traffic(self):
+        dram = self.cache.dram_bytes(1e6, working_set_bytes=1e6, dram_bytes_min=5e6)
+        assert dram >= 5e6
+
+    def test_hot_fraction_reduces_traffic(self):
+        cold = self.cache.dram_bytes(1e9, working_set_bytes=1e10, hot_fraction=0.0)
+        warm = self.cache.dram_bytes(1e9, working_set_bytes=1e10, hot_fraction=0.7)
+        assert warm < cold
+
+
+class TestOccupancyModel:
+    def setup_method(self):
+        self.model = OccupancyModel(RTX_4090)
+
+    def test_zero_threads(self):
+        assert self.model.active_warps_per_sm(0) == 0.0
+        assert self.model.occupancy(0) == 0.0
+
+    def test_warps_saturate_at_max(self):
+        warps = self.model.active_warps_per_sm(2**27)
+        assert warps <= RTX_4090.max_warps_per_sm
+        assert warps > 0.9 * RTX_4090.max_warps_per_sm
+
+    def test_warps_monotone_in_threads(self):
+        values = [self.model.active_warps_per_sm(2**n) for n in range(10, 27, 2)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_table5_shape(self):
+        # Table 5: ~3.9 warps at 2^13 lookups, ~14.3 at 2^21 on the RTX 4090.
+        low = self.model.active_warps_per_sm(2**13)
+        high = self.model.active_warps_per_sm(2**21)
+        assert 1.0 < low < 8.0
+        assert 12.0 < high <= 16.0
+
+    def test_bandwidth_fraction_bounds(self):
+        assert self.model.bandwidth_fraction(2**8) >= self.model.min_bandwidth_fraction
+        assert self.model.bandwidth_fraction(2**27) <= self.model.max_bandwidth_fraction
+
+    def test_launch_overhead_scales_with_launches(self):
+        assert self.model.launch_overhead_ms(1000) == pytest.approx(
+            1000 * RTX_4090.kernel_launch_overhead_us / 1000.0
+        )
+
+    def test_latency_bound_grows_with_serial_depth(self):
+        shallow = self.model.latency_bound_ms(2**27, serial_depth=2)
+        deep = self.model.latency_bound_ms(2**27, serial_depth=26)
+        assert deep > shallow
+
+    def test_latency_zero_for_no_dependent_loads(self):
+        assert self.model.latency_bound_ms(2**20, serial_depth=0) == 0.0

@@ -1,0 +1,56 @@
+"""Tests for the GPU device presets."""
+
+import pytest
+
+from repro.gpusim.device import (
+    DEVICE_PRESETS,
+    RTX_2080TI,
+    RTX_3090,
+    RTX_4090,
+    RTX_A6000,
+    get_device,
+)
+
+
+class TestPresets:
+    def test_four_presets_available(self):
+        assert set(DEVICE_PRESETS) == {"4090", "3090", "a6000", "2080ti"}
+
+    def test_table8_attributes(self):
+        # Table 8 of the paper.
+        assert RTX_4090.rt_core_count == 128 and RTX_4090.rt_core_generation == 3
+        assert RTX_A6000.rt_core_count == 84 and RTX_A6000.rt_core_generation == 2
+        assert RTX_3090.rt_core_count == 82 and RTX_3090.rt_core_generation == 2
+        assert RTX_2080TI.rt_core_count == 68 and RTX_2080TI.rt_core_generation == 1
+
+    def test_vram_sizes(self):
+        assert RTX_4090.vram_bytes == 24 * 1024**3
+        assert RTX_A6000.vram_bytes == 48 * 1024**3
+        assert RTX_2080TI.vram_bytes == 11 * 1024**3
+
+    def test_newer_generations_are_faster(self):
+        assert RTX_4090.rt_tests_per_second > RTX_3090.rt_tests_per_second > RTX_2080TI.rt_tests_per_second
+        assert RTX_4090.dram_bandwidth_gbs > RTX_2080TI.dram_bandwidth_gbs
+        assert RTX_4090.instructions_per_second > RTX_2080TI.instructions_per_second
+
+    def test_rt_throughput_doubles_per_generation(self):
+        # Per-core throughput doubles with each generation (Section 4.10).
+        per_core_ada = RTX_4090.rt_tests_per_second / (RTX_4090.rt_core_count * RTX_4090.clock_ghz)
+        per_core_turing = RTX_2080TI.rt_tests_per_second / (
+            RTX_2080TI.rt_core_count * RTX_2080TI.clock_ghz
+        )
+        assert per_core_ada / per_core_turing == pytest.approx(4.0)
+
+    def test_threads_in_flight(self):
+        assert RTX_4090.threads_in_flight == 128 * 16 * 32
+
+
+class TestLookup:
+    def test_get_device_by_alias(self):
+        assert get_device("RTX 4090") is RTX_4090
+        assert get_device("a6000") is RTX_A6000
+        assert get_device("2080TI") is RTX_2080TI
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            get_device("H100")

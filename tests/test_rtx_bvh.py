@@ -1,0 +1,151 @@
+"""Tests for the BVH builders and their invariants."""
+
+import numpy as np
+import pytest
+
+from repro.rtx.build_input import build_input_for_points
+from repro.rtx.bvh import Bvh, BvhBuildOptions, build_bvh
+from repro.rtx.geometry import TriangleBuffer, make_triangle_vertices
+
+
+def _buffer(n: int, spread: str = "line") -> TriangleBuffer:
+    if spread == "line":
+        points = np.column_stack([np.arange(n), np.zeros(n), np.zeros(n)])
+    else:
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 1000, size=(n, 3))
+    return TriangleBuffer(make_triangle_vertices(points.astype(np.float64)))
+
+
+def _check_invariants(bvh: Bvh, buffer: TriangleBuffer) -> None:
+    """Structural invariants every well-formed BVH must satisfy."""
+    # 1. The permutation covers every primitive exactly once.
+    assert sorted(bvh.prim_indices.tolist()) == list(range(len(buffer)))
+    # 2. Every leaf range lies within bounds and leaves partition the range.
+    leaves = np.flatnonzero(bvh.left < 0)
+    covered = []
+    for leaf in leaves:
+        first = int(bvh.first_prim[leaf])
+        count = int(bvh.prim_count[leaf])
+        assert count >= 1
+        covered.extend(range(first, first + count))
+    assert sorted(covered) == list(range(len(buffer)))
+    # 3. Every node's bounds enclose its primitives' bounds.
+    prim_mins, prim_maxs = buffer.compute_aabbs()
+    for leaf in leaves:
+        first = int(bvh.first_prim[leaf])
+        count = int(bvh.prim_count[leaf])
+        idx = bvh.prim_indices[first : first + count]
+        assert np.all(bvh.node_mins[leaf] <= prim_mins[idx].min(axis=0) + 1e-5)
+        assert np.all(bvh.node_maxs[leaf] >= prim_maxs[idx].max(axis=0) - 1e-5)
+    # 4. Parents enclose their children.
+    inner = np.flatnonzero(bvh.left >= 0)
+    for node in inner:
+        l, r = int(bvh.left[node]), int(bvh.right[node])
+        assert np.all(bvh.node_mins[node] <= bvh.node_mins[l] + 1e-5)
+        assert np.all(bvh.node_mins[node] <= bvh.node_mins[r] + 1e-5)
+        assert np.all(bvh.node_maxs[node] >= bvh.node_maxs[l] - 1e-5)
+        assert np.all(bvh.node_maxs[node] >= bvh.node_maxs[r] - 1e-5)
+
+
+class TestBuildOptions:
+    def test_unknown_builder_rejected(self):
+        with pytest.raises(ValueError):
+            BvhBuildOptions(builder="octree").validate()
+
+    def test_leaf_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BvhBuildOptions(max_leaf_size=0).validate()
+
+    def test_morton_bits_range(self):
+        with pytest.raises(ValueError):
+            BvhBuildOptions(morton_bits=25).validate()
+
+    def test_sah_bins_range(self):
+        with pytest.raises(ValueError):
+            BvhBuildOptions(sah_bins=1).validate()
+
+
+@pytest.mark.parametrize("builder", ["lbvh", "sah", "median"])
+class TestBuilders:
+    def test_invariants_on_line(self, builder):
+        buffer = _buffer(100)
+        bvh = build_bvh(buffer, BvhBuildOptions(builder=builder))
+        _check_invariants(bvh, buffer)
+
+    def test_invariants_on_random_cloud(self, builder):
+        buffer = _buffer(200, spread="cloud")
+        bvh = build_bvh(buffer, BvhBuildOptions(builder=builder))
+        _check_invariants(bvh, buffer)
+
+    def test_leaf_size_respected(self, builder):
+        buffer = _buffer(128)
+        bvh = build_bvh(buffer, BvhBuildOptions(builder=builder, max_leaf_size=2))
+        leaves = bvh.left < 0
+        assert bvh.prim_count[leaves].max() <= 2
+
+    def test_single_primitive(self, builder):
+        buffer = _buffer(1)
+        bvh = build_bvh(buffer, BvhBuildOptions(builder=builder))
+        assert bvh.node_count == 1
+        assert bvh.leaf_count == 1
+
+    def test_duplicate_positions_handled(self, builder):
+        # Several primitives at identical coordinates (duplicate keys) must
+        # not break the build.
+        points = np.zeros((16, 3))
+        buffer = TriangleBuffer(make_triangle_vertices(points))
+        bvh = build_bvh(buffer, BvhBuildOptions(builder=builder, max_leaf_size=4))
+        _check_invariants(bvh, buffer)
+
+
+class TestBvhProperties:
+    def test_depth_grows_logarithmically(self):
+        shallow = build_bvh(_buffer(64))
+        deep = build_bvh(_buffer(1024))
+        assert deep.depth() > shallow.depth()
+        assert deep.depth() <= 2 * np.log2(1024) + 4
+
+    def test_node_count_bounded(self):
+        bvh = build_bvh(_buffer(256), BvhBuildOptions(max_leaf_size=1))
+        assert bvh.node_count <= 2 * 256
+
+    def test_statistics_fields(self):
+        bvh = build_bvh(_buffer(128))
+        stats = bvh.statistics()
+        assert stats.leaf_count > 0
+        assert stats.mean_leaf_size <= stats.max_leaf_size
+        assert stats.sah_cost > 0
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ValueError):
+            build_bvh(TriangleBuffer(np.zeros((0, 3, 3), dtype=np.float32)))
+
+    def test_structure_bytes_positive(self):
+        bvh = build_bvh(_buffer(32))
+        assert bvh.structure_bytes() == bvh.node_count * bvh.node_bytes()
+
+    def test_surface_areas_nonnegative(self):
+        bvh = build_bvh(_buffer(32))
+        assert (bvh.surface_areas() >= 0).all()
+
+
+class TestBuildInputIntegration:
+    @pytest.mark.parametrize("primitive", ["triangle", "sphere", "aabb"])
+    def test_build_via_build_input(self, primitive):
+        points = np.column_stack([np.arange(50), np.zeros(50), np.zeros(50)])
+        build_input = build_input_for_points(primitive, points)
+        bvh = build_bvh(build_input.primitive_buffer())
+        assert bvh.num_primitives == 50
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ValueError):
+            build_input_for_points("torus", np.zeros((3, 3)))
+
+    def test_build_input_byte_accounting(self):
+        points = np.column_stack([np.arange(10), np.zeros(10), np.zeros(10)])
+        tri = build_input_for_points("triangle", points)
+        sph = build_input_for_points("sphere", points)
+        box = build_input_for_points("aabb", points)
+        assert tri.primitive_bytes > box.primitive_bytes > sph.primitive_bytes
+        assert tri.num_primitives == sph.num_primitives == box.num_primitives == 10

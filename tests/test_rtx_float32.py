@@ -1,0 +1,90 @@
+"""Tests for the float32 helpers (OptiX coordinate restrictions)."""
+
+import numpy as np
+import pytest
+
+from repro.rtx import float32 as f32
+
+
+class TestBitCast:
+    def test_round_trip_scalar(self):
+        bits = f32.bit_cast_f32_to_u32(np.float32(0.5))
+        assert f32.bit_cast_u32_to_f32(bits) == np.float32(0.5)
+
+    def test_round_trip_array(self):
+        values = np.array([0.0, 1.0, -2.5, 3.1415], dtype=np.float32)
+        assert np.array_equal(f32.bit_cast_u32_to_f32(f32.bit_cast_f32_to_u32(values)), values)
+
+    def test_half_bit_pattern_is_extended_mode_offset(self):
+        assert f32.EXTENDED_MODE_OFFSET == int(np.float32(0.5).view(np.uint32))
+
+    def test_bit_cast_is_monotonic_for_positive_floats(self):
+        # Consecutive bit patterns of positive floats are ordered, which is
+        # the property Extended Mode relies on.
+        bits = np.arange(f32.EXTENDED_MODE_OFFSET, f32.EXTENDED_MODE_OFFSET + 1000, dtype=np.uint32)
+        values = f32.bit_cast_u32_to_f32(bits)
+        assert np.all(np.diff(values) > 0)
+
+
+class TestNextAfter:
+    def test_nextafter_moves_up(self):
+        value = np.float32(1.0)
+        up = f32.nextafter_f32(value, np.float32(np.inf))
+        assert up > value
+
+    def test_nextafter_moves_down(self):
+        value = np.float32(1.0)
+        down = f32.nextafter_f32(value, np.float32(-np.inf))
+        assert down < value
+
+    def test_nextafter_is_adjacent_bit_pattern(self):
+        value = np.float32(123.0)
+        up = f32.nextafter_f32(value, np.float32(np.inf))
+        assert int(np.float32(up).view(np.uint32)) == int(value.view(np.uint32)) + 1
+
+    def test_ulp_positive(self):
+        assert f32.ulp_f32(np.float32(1.0)) > 0
+        assert f32.ulp_f32(np.float32(2.0**20)) > f32.ulp_f32(np.float32(1.0))
+
+
+class TestExactness:
+    def test_all_ints_below_2_24_exact(self):
+        samples = np.array([0, 1, 2**23, 2**24 - 1, 2**24], dtype=np.uint64)
+        assert f32.is_exact_int_f32(samples).all()
+
+    def test_2_24_plus_one_not_exact(self):
+        assert not f32.is_exact_int_f32(np.array([2**24 + 1], dtype=np.uint64))[0]
+
+    def test_half_offset_exact_below_naive_limit(self):
+        keys = np.array([0, 1, 2**23 - 1], dtype=np.uint64)
+        assert f32.is_half_offset_exact_f32(keys).all()
+
+    def test_half_offset_not_exact_at_2_24(self):
+        # The paper's argument for restricting Naive Mode to 2^23 keys:
+        # 2^24 - 1 + 0.5 cannot be represented.
+        assert not f32.is_half_offset_exact_f32(np.array([2**24 - 1], dtype=np.uint64))[0]
+
+    def test_naive_limit_constant(self):
+        assert f32.NAIVE_MODE_KEY_LIMIT == 2**23
+        assert f32.EXTENDED_MODE_KEY_LIMIT == 2**29
+
+
+class TestValueRange:
+    def test_value_range_ratio_uniform(self):
+        assert f32.value_range_ratio([1.0, 2.0, 4.0]) == pytest.approx(4.0)
+
+    def test_value_range_ratio_ignores_zero(self):
+        assert f32.value_range_ratio([0.0, 1.0, 8.0]) == pytest.approx(8.0)
+
+    def test_value_range_ratio_empty(self):
+        assert f32.value_range_ratio([]) == 1.0
+
+    def test_float_span(self):
+        lo, hi = f32.float_span([3, 1, 2])
+        assert (lo, hi) == (1.0, 3.0)
+
+    def test_float_span_empty(self):
+        assert f32.float_span([]) == (0.0, 0.0)
+
+    def test_to_f32_array_dtype(self):
+        assert f32.to_f32_array([1, 2, 3]).dtype == np.float32

@@ -1,0 +1,243 @@
+"""Tests for primitives, ray batches, and intersection routines."""
+
+import numpy as np
+import pytest
+
+from repro.rtx.geometry import (
+    AabbBuffer,
+    RayBatch,
+    SphereBuffer,
+    TriangleBuffer,
+    make_aabbs_from_points,
+    make_sphere_centers,
+    make_triangle_vertices,
+    ray_box_overlap,
+    ray_box_overlap_pairs,
+)
+
+
+def _line_points(n: int) -> np.ndarray:
+    return np.column_stack([np.arange(n), np.zeros(n), np.zeros(n)]).astype(np.float64)
+
+
+class TestRayBatch:
+    def test_shapes_and_defaults(self):
+        batch = RayBatch(
+            origins=[[0, 0, 0], [1, 0, 0]],
+            directions=[[1, 0, 0], [1, 0, 0]],
+            tmin=[0, 0],
+            tmax=[1, 2],
+        )
+        assert len(batch) == 2
+        assert batch.origins.dtype == np.float32
+        assert np.array_equal(batch.lookup_ids, [0, 1])
+
+    def test_broadcast_tmin_tmax(self):
+        batch = RayBatch(
+            origins=np.zeros((3, 3)),
+            directions=np.tile([0, 0, 1], (3, 1)),
+            tmin=0.0,
+            tmax=1.0,
+        )
+        assert batch.tmin.shape == (3,)
+        assert batch.tmax.shape == (3,)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            RayBatch(
+                origins=np.zeros((3, 3)),
+                directions=np.zeros((2, 3)),
+                tmin=0.0,
+                tmax=1.0,
+            )
+
+    def test_slice(self):
+        batch = RayBatch(
+            origins=np.arange(12).reshape(4, 3),
+            directions=np.tile([1, 0, 0], (4, 1)),
+            tmin=0.0,
+            tmax=1.0,
+        )
+        part = batch.slice(1, 3)
+        assert len(part) == 2
+        assert part.origins[0, 0] == pytest.approx(3.0)
+
+    def test_concatenate(self):
+        a = RayBatch(origins=np.zeros((2, 3)), directions=np.tile([1, 0, 0], (2, 1)), tmin=0, tmax=1)
+        b = RayBatch(origins=np.ones((3, 3)), directions=np.tile([1, 0, 0], (3, 1)), tmin=0, tmax=1)
+        merged = RayBatch.concatenate([a, b])
+        assert len(merged) == 5
+
+    def test_concatenate_empty(self):
+        empty = RayBatch.concatenate([])
+        assert len(empty) == 0
+
+
+class TestTriangleBuffer:
+    def test_vertex_shape_validation(self):
+        with pytest.raises(ValueError):
+            TriangleBuffer(np.zeros((4, 3)))
+
+    def test_primitive_bytes(self):
+        buffer = TriangleBuffer(make_triangle_vertices(_line_points(10)))
+        assert buffer.primitive_bytes() == 10 * 9 * 4
+
+    def test_aabbs_contain_anchor(self):
+        points = _line_points(5)
+        buffer = TriangleBuffer(make_triangle_vertices(points))
+        mins, maxs = buffer.compute_aabbs()
+        assert np.all(mins[:, 0] <= points[:, 0])
+        assert np.all(maxs[:, 0] >= points[:, 0])
+
+    def test_anchor_is_hit_by_perpendicular_ray(self):
+        buffer = TriangleBuffer(make_triangle_vertices(_line_points(3)))
+        hits = buffer.intersect((1.0, 0.0, -0.5), (0.0, 0.0, 1.0), 0.0, 1.0, np.arange(3))
+        assert hits.tolist() == [1]
+
+    def test_anchor_is_hit_by_x_parallel_ray(self):
+        buffer = TriangleBuffer(make_triangle_vertices(_line_points(3)))
+        hits = buffer.intersect((-0.5, 0.0, 0.0), (1.0, 0.0, 0.0), 0.0, 3.0, np.arange(3))
+        assert sorted(hits.tolist()) == [0, 1, 2]
+
+    def test_gap_between_triangles(self):
+        # A ray confined to the gap between keys 0 and 1 must hit nothing.
+        buffer = TriangleBuffer(make_triangle_vertices(_line_points(2)))
+        hits = buffer.intersect((0.5, 0.0, -0.5), (0.0, 0.0, 1.0), 0.0, 1.0, np.arange(2))
+        assert hits.size == 0
+
+    def test_intersect_pairs_elementwise(self):
+        buffer = TriangleBuffer(make_triangle_vertices(_line_points(4)))
+        origins = np.array([[0, 0, -0.5], [1, 0, -0.5], [2, 0, -0.5], [9, 0, -0.5]], dtype=float)
+        dirs = np.tile([0.0, 0.0, 1.0], (4, 1))
+        mask = buffer.intersect_pairs(origins, dirs, np.zeros(4), np.ones(4), np.array([0, 1, 2, 3]))
+        assert mask.tolist() == [True, True, True, False]
+
+    def test_empty_candidates(self):
+        buffer = TriangleBuffer(make_triangle_vertices(_line_points(2)))
+        assert buffer.intersect((0, 0, 0), (1, 0, 0), 0, 1, np.array([], dtype=np.int64)).size == 0
+
+
+class TestSphereBuffer:
+    def test_radius_validation(self):
+        with pytest.raises(ValueError):
+            SphereBuffer(np.zeros((2, 3)), radius=0.0)
+
+    def test_primitive_bytes(self):
+        buffer = SphereBuffer(make_sphere_centers(_line_points(8)), radius=0.25)
+        assert buffer.primitive_bytes() == 8 * 12 + 4
+
+    def test_ray_through_center_hits(self):
+        buffer = SphereBuffer(make_sphere_centers(_line_points(3)), radius=0.25)
+        hits = buffer.intersect((2.0, 0.0, -0.5), (0.0, 0.0, 1.0), 0.0, 1.0, np.arange(3))
+        assert hits.tolist() == [2]
+
+    def test_ray_in_gap_misses(self):
+        buffer = SphereBuffer(make_sphere_centers(_line_points(3)), radius=0.25)
+        hits = buffer.intersect((0.5, 0.0, -0.5), (0.0, 0.0, 1.0), 0.0, 1.0, np.arange(3))
+        assert hits.size == 0
+
+    def test_x_parallel_ray_hits_all(self):
+        buffer = SphereBuffer(make_sphere_centers(_line_points(4)), radius=0.25)
+        hits = buffer.intersect((-0.5, 0.0, 0.0), (1.0, 0.0, 0.0), 0.0, 4.0, np.arange(4))
+        assert sorted(hits.tolist()) == [0, 1, 2, 3]
+
+    def test_aabbs_enclose_radius(self):
+        buffer = SphereBuffer(make_sphere_centers(_line_points(2)), radius=0.25)
+        mins, maxs = buffer.compute_aabbs()
+        assert np.allclose(maxs - mins, 0.5)
+
+
+class TestAabbBuffer:
+    def test_corner_validation(self):
+        with pytest.raises(ValueError):
+            AabbBuffer(np.ones((2, 3)), np.zeros((2, 3)))
+
+    def test_primitive_bytes(self):
+        mins, maxs = make_aabbs_from_points(_line_points(4))
+        buffer = AabbBuffer(mins, maxs)
+        assert buffer.primitive_bytes() == 4 * 24
+
+    def test_ray_through_box_hits(self):
+        mins, maxs = make_aabbs_from_points(_line_points(4))
+        buffer = AabbBuffer(mins, maxs)
+        hits = buffer.intersect((3.0, 0.0, -0.5), (0.0, 0.0, 1.0), 0.0, 1.0, np.arange(4))
+        assert hits.tolist() == [3]
+
+    def test_ray_in_gap_misses(self):
+        mins, maxs = make_aabbs_from_points(_line_points(2))
+        buffer = AabbBuffer(mins, maxs)
+        hits = buffer.intersect((0.5, 0.0, -0.5), (0.0, 0.0, 1.0), 0.0, 1.0, np.arange(2))
+        assert hits.size == 0
+
+
+class TestRayBoxOverlap:
+    def test_axis_aligned_hit(self):
+        mask = ray_box_overlap(
+            (0, 0, 0), (1, 0, 0), 0.0, 10.0,
+            np.array([[2, -1, -1]]), np.array([[3, 1, 1]]),
+        )
+        assert mask.tolist() == [True]
+
+    def test_beyond_tmax_missed(self):
+        mask = ray_box_overlap(
+            (0, 0, 0), (1, 0, 0), 0.0, 1.0,
+            np.array([[2, -1, -1]]), np.array([[3, 1, 1]]),
+        )
+        assert mask.tolist() == [False]
+
+    def test_behind_origin_missed(self):
+        mask = ray_box_overlap(
+            (5, 0, 0), (1, 0, 0), 0.0, 10.0,
+            np.array([[2, -1, -1]]), np.array([[3, 1, 1]]),
+        )
+        assert mask.tolist() == [False]
+
+    def test_parallel_ray_inside_slab(self):
+        # Direction has no y component; the ray's y must lie inside the box.
+        inside = ray_box_overlap(
+            (0, 0, 0), (1, 0, 0), 0.0, 10.0,
+            np.array([[1, -1, -1]]), np.array([[2, 1, 1]]),
+        )
+        outside = ray_box_overlap(
+            (0, 5, 0), (1, 0, 0), 0.0, 10.0,
+            np.array([[1, -1, -1]]), np.array([[2, 1, 1]]),
+        )
+        assert inside.tolist() == [True]
+        assert outside.tolist() == [False]
+
+    def test_pairs_elementwise(self):
+        origins = np.array([[0, 0, 0], [0, 0, 0]], dtype=float)
+        dirs = np.array([[1, 0, 0], [0, 1, 0]], dtype=float)
+        mins = np.array([[1, -1, -1], [1, -1, -1]], dtype=float)
+        maxs = np.array([[2, 1, 1], [2, 1, 1]], dtype=float)
+        mask = ray_box_overlap_pairs(origins, dirs, [0, 0], [10, 10], mins, maxs)
+        assert mask.tolist() == [True, False]
+
+
+class TestFactories:
+    def test_triangle_centroid_is_anchor(self):
+        points = _line_points(6)
+        vertices = make_triangle_vertices(points)
+        centroids = vertices.mean(axis=1)
+        assert np.allclose(centroids, points, atol=1e-5)
+
+    def test_triangle_extent_respects_half_extent(self):
+        points = _line_points(4)
+        vertices = make_triangle_vertices(points, half_extent=0.5)
+        offsets = np.abs(vertices - points[:, None, :])
+        assert offsets.max() <= 0.5 + 1e-6
+
+    def test_triangle_custom_x_extent(self):
+        points = _line_points(3)
+        x_he = np.full(3, 0.01)
+        vertices = make_triangle_vertices(points, half_extent=0.5, x_half_extent=x_he)
+        x_offsets = np.abs(vertices[:, :, 0] - points[:, None, 0])
+        assert x_offsets.max() <= 0.01 + 1e-6
+
+    def test_aabb_factory_extent(self):
+        mins, maxs = make_aabbs_from_points(_line_points(3), half_extent=0.25)
+        assert np.allclose(maxs - mins, 0.5)
+
+    def test_sphere_centers_passthrough(self):
+        points = _line_points(3)
+        assert np.allclose(make_sphere_centers(points), points)

@@ -1,0 +1,167 @@
+"""Tests for the OptiX-shaped front-end: accel build/compact/update, launches."""
+
+import numpy as np
+import pytest
+
+from repro.rtx.build_input import BuildFlags, build_input_for_points
+from repro.rtx.geometry import RayBatch
+from repro.rtx.pipeline import (
+    DeviceContext,
+    Pipeline,
+    accel_build,
+    accel_compact,
+    accel_update,
+)
+
+
+def _line_input(n: int, primitive: str = "triangle"):
+    points = np.column_stack([np.arange(n), np.zeros(n), np.zeros(n)])
+    return build_input_for_points(primitive, points)
+
+
+def _perpendicular_rays(xs):
+    xs = np.asarray(xs, dtype=float)
+    return RayBatch(
+        origins=np.column_stack([xs, np.zeros_like(xs), np.full_like(xs, -0.5)]),
+        directions=np.tile([0.0, 0.0, 1.0], (xs.shape[0], 1)),
+        tmin=0.0,
+        tmax=1.0,
+    )
+
+
+class TestAccelBuild:
+    def test_build_returns_accel_with_bvh(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(32))
+        assert accel.num_primitives == 32
+        assert accel.primitive_kind == "triangle"
+        assert accel.bvh.node_count >= 1
+
+    def test_build_accounts_memory(self):
+        ctx = DeviceContext()
+        accel_build(ctx, _line_input(32))
+        assert ctx.memory.current_bytes > 0
+        assert ctx.memory.peak_bytes > ctx.memory.current_bytes  # temp freed
+
+    def test_flags_propagate_to_options(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(8), flags=BuildFlags.ALLOW_UPDATE)
+        assert accel.bvh.options.allow_update is True
+
+    def test_build_metrics_populated(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(16))
+        assert accel.build_metrics.num_primitives == 16
+        assert accel.build_metrics.bytes_written > 0
+
+    def test_size_bytes_reflects_compaction_state(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(16))
+        before = accel.size_bytes
+        accel_compact(ctx, accel)
+        assert accel.size_bytes < before
+
+
+class TestAccelCompact:
+    def test_compaction_reduces_memory(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(64))
+        used_before = ctx.memory.current_bytes
+        result = accel_compact(ctx, accel)
+        assert result.saved_bytes > 0
+        assert ctx.memory.current_bytes < used_before
+
+    def test_compaction_rejected_with_update_flag(self):
+        ctx = DeviceContext()
+        accel = accel_build(
+            ctx, _line_input(16), flags=BuildFlags.ALLOW_UPDATE | BuildFlags.ALLOW_COMPACTION
+        )
+        with pytest.raises(ValueError):
+            accel_compact(ctx, accel)
+
+    def test_compaction_preserves_hits(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(32))
+        pipe = Pipeline(ctx, accel)
+        before = sorted(pipe.launch(_perpendicular_rays([5, 9])).hits.prim_indices.tolist())
+        accel_compact(ctx, accel)
+        pipe.refresh()
+        after = sorted(pipe.launch(_perpendicular_rays([5, 9])).hits.prim_indices.tolist())
+        assert before == after == [5, 9]
+
+
+class TestAccelUpdate:
+    def test_update_requires_flag(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(16))
+        with pytest.raises(ValueError):
+            accel_update(ctx, accel, _line_input(16))
+
+    def test_update_moves_primitives(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(16), flags=BuildFlags.ALLOW_UPDATE)
+        # Move every primitive one unit to the right and refit.
+        points = np.column_stack([np.arange(16) + 1, np.zeros(16), np.zeros(16)])
+        new_input = build_input_for_points("triangle", points)
+        result = accel_update(ctx, accel, new_input)
+        assert result.nodes_updated == accel.bvh.node_count
+        pipe = Pipeline(ctx, accel)
+        hits = pipe.launch(_perpendicular_rays([1.0])).hits
+        assert hits.prim_indices.tolist() == [0]
+
+    def test_update_rejects_changed_primitive_count(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(16), flags=BuildFlags.ALLOW_UPDATE)
+        with pytest.raises(ValueError):
+            accel_update(ctx, accel, _line_input(17))
+
+    def test_update_grows_bounds_for_big_moves(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(64), flags=BuildFlags.ALLOW_UPDATE)
+        rng = np.random.default_rng(1)
+        shuffled = rng.permutation(64)
+        points = np.column_stack([shuffled, np.zeros(64), np.zeros(64)])
+        result = accel_update(ctx, accel, build_input_for_points("triangle", points))
+        assert result.surface_area_growth > 1.5
+
+
+class TestPipeline:
+    def test_launch_with_explicit_rays(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(20))
+        pipe = Pipeline(ctx, accel)
+        result = pipe.launch(_perpendicular_rays([3, 400]))
+        assert result.num_rays == 2
+        assert result.hits_per_lookup().tolist() == [1, 0]
+
+    def test_launch_with_raygen_program(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(20))
+
+        def raygen(xs):
+            return _perpendicular_rays(xs)
+
+        pipe = Pipeline(ctx, accel, raygen=raygen)
+        result = pipe.launch(xs=[7, 8])
+        assert sorted(result.hits.prim_indices.tolist()) == [7, 8]
+
+    def test_launch_without_rays_or_raygen_fails(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(4))
+        with pytest.raises(ValueError):
+            Pipeline(ctx, accel).launch()
+
+    def test_any_hit_program_filters(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(10))
+        pipe = Pipeline(ctx, accel, any_hit=lambda r, p, l: p >= 5)
+        rays = RayBatch(origins=[[-0.5, 0, 0]], directions=[[1, 0, 0]], tmin=[0.0], tmax=[11.0])
+        result = pipe.launch(rays)
+        assert sorted(result.hits.prim_indices.tolist()) == [5, 6, 7, 8, 9]
+
+    def test_counters_attached_to_launch(self):
+        ctx = DeviceContext()
+        accel = accel_build(ctx, _line_input(16))
+        result = Pipeline(ctx, accel).launch(_perpendicular_rays([1]))
+        assert result.counters.node_visits > 0
+        assert result.counters.rays == 1

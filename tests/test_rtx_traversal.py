@@ -1,0 +1,179 @@
+"""Tests for the wavefront traversal engine and its counters."""
+
+import numpy as np
+import pytest
+
+from repro.rtx.build_input import build_input_for_points
+from repro.rtx.bvh import BvhBuildOptions, build_bvh
+from repro.rtx.geometry import RayBatch, TriangleBuffer, make_triangle_vertices
+from repro.rtx.traversal import TraversalCounters, TraversalEngine
+
+
+def _line_engine(n: int, **options) -> TraversalEngine:
+    points = np.column_stack([np.arange(n), np.zeros(n), np.zeros(n)])
+    buffer = TriangleBuffer(make_triangle_vertices(points))
+    bvh = build_bvh(buffer, BvhBuildOptions(**options))
+    return TraversalEngine(bvh, buffer)
+
+
+def _point_rays(xs) -> RayBatch:
+    xs = np.asarray(xs, dtype=float)
+    origins = np.column_stack([xs, np.zeros_like(xs), np.full_like(xs, -0.5)])
+    directions = np.tile([0.0, 0.0, 1.0], (xs.shape[0], 1))
+    return RayBatch(origins=origins, directions=directions, tmin=0.0, tmax=1.0)
+
+
+def _brute_force_hits(engine: TraversalEngine, rays: RayBatch) -> set[tuple[int, int]]:
+    """Reference: test every ray against every primitive."""
+    hits = set()
+    n = len(engine.primitives)
+    for ray_idx in range(len(rays)):
+        prim_ids = engine.primitives.intersect(
+            rays.origins[ray_idx],
+            rays.directions[ray_idx],
+            float(rays.tmin[ray_idx]),
+            float(rays.tmax[ray_idx]),
+            np.arange(n, dtype=np.int64),
+        )
+        hits.update((ray_idx, int(p)) for p in prim_ids)
+    return hits
+
+
+class TestTraversalCorrectness:
+    def test_point_rays_hit_their_key(self):
+        engine = _line_engine(64)
+        result = engine.trace(_point_rays([0, 17, 63]))
+        assert set(zip(result.ray_indices.tolist(), result.prim_indices.tolist())) == {
+            (0, 0), (1, 17), (2, 63),
+        }
+
+    def test_miss_rays_produce_no_hits(self):
+        engine = _line_engine(64)
+        result = engine.trace(_point_rays([200.0, 300.0]))
+        assert result.count == 0
+
+    def test_matches_brute_force_on_random_rays(self):
+        engine = _line_engine(96)
+        rng = np.random.default_rng(2)
+        xs = rng.uniform(-5, 100, size=40)
+        rays = _point_rays(xs)
+        result = engine.trace(rays)
+        assert set(zip(result.ray_indices.tolist(), result.prim_indices.tolist())) == _brute_force_hits(engine, rays)
+
+    def test_range_ray_hits_contiguous_keys(self):
+        engine = _line_engine(50)
+        rays = RayBatch(
+            origins=[[9.5, 0, 0]], directions=[[1, 0, 0]], tmin=[0.0], tmax=[6.0]
+        )
+        result = engine.trace(rays)
+        assert sorted(result.prim_indices.tolist()) == list(range(10, 16))
+
+    def test_any_hit_filter_applied(self):
+        engine = _line_engine(10)
+        rays = RayBatch(origins=[[-0.5, 0, 0]], directions=[[1, 0, 0]], tmin=[0.0], tmax=[11.0])
+        keep_even = lambda r, p, l: (p % 2 == 0)
+        result = engine.trace(rays, any_hit=keep_even)
+        assert sorted(result.prim_indices.tolist()) == [0, 2, 4, 6, 8]
+
+    def test_lookup_ids_propagated(self):
+        engine = _line_engine(10)
+        rays = RayBatch(
+            origins=[[2, 0, -0.5], [7, 0, -0.5]],
+            directions=[[0, 0, 1], [0, 0, 1]],
+            tmin=0.0,
+            tmax=1.0,
+            lookup_ids=[5, 9],
+        )
+        result = engine.trace(rays)
+        assert sorted(result.lookup_ids.tolist()) == [5, 9]
+
+    def test_empty_ray_batch(self):
+        engine = _line_engine(10)
+        rays = RayBatch(
+            origins=np.zeros((0, 3)), directions=np.zeros((0, 3)), tmin=np.zeros(0), tmax=np.zeros(0)
+        )
+        result = engine.trace(rays)
+        assert result.count == 0
+
+    def test_hits_per_ray(self):
+        engine = _line_engine(20)
+        rays = RayBatch(origins=[[4.5, 0, 0]], directions=[[1, 0, 0]], tmin=[0.0], tmax=[4.0])
+        result = engine.trace(rays)
+        assert result.hits_per_ray()[0] == 4
+
+
+class TestTraversalCounters:
+    def test_counters_accumulate_across_traces(self):
+        engine = _line_engine(32)
+        engine.trace(_point_rays([1]))
+        first = engine.counters.node_visits
+        engine.trace(_point_rays([2]))
+        assert engine.counters.node_visits > first
+        assert engine.counters.rays == 2
+
+    def test_reset_counters(self):
+        engine = _line_engine(32)
+        engine.trace(_point_rays([1]))
+        engine.reset_counters()
+        assert engine.counters.node_visits == 0
+
+    def test_miss_visits_fewer_nodes_than_hit(self):
+        engine = _line_engine(256)
+        hit = engine.trace(_point_rays([128]))
+        hit_visits = engine.counters.node_visits
+        engine.reset_counters()
+        engine.trace(_point_rays([1e6]))
+        miss_visits = engine.counters.node_visits
+        assert miss_visits < hit_visits
+        assert hit.count == 1
+
+    def test_from_zero_ray_visits_more_nodes_than_offset_ray(self):
+        # The Table 3 / Figure 6 mechanism: tmin does not cull nodes.
+        engine = _line_engine(256)
+        offset = RayBatch(origins=[[199.5, 0, 0]], directions=[[1, 0, 0]], tmin=[0.0], tmax=[2.0])
+        engine.trace(offset)
+        offset_visits = engine.counters.node_visits
+        engine.reset_counters()
+        zero = RayBatch(origins=[[0, 0, 0]], directions=[[1, 0, 0]], tmin=[199.5], tmax=[201.5])
+        engine.trace(zero)
+        zero_visits = engine.counters.node_visits
+        assert zero_visits > 3 * offset_visits
+
+    def test_idealised_traversal_culls_by_tmin(self):
+        engine = _line_engine(256)
+        engine.node_cull_respects_tmin = True
+        zero = RayBatch(origins=[[0, 0, 0]], directions=[[1, 0, 0]], tmin=[199.5], tmax=[201.5])
+        result = engine.trace(zero)
+        assert sorted(result.prim_indices.tolist()) == [200, 201]
+        assert engine.counters.node_visits < 64
+
+    def test_hardware_vs_software_intersection_counters(self):
+        points = np.column_stack([np.arange(16), np.zeros(16), np.zeros(16)])
+        tri_engine = TraversalEngine(
+            build_bvh(build_input_for_points("triangle", points).primitive_buffer()),
+            build_input_for_points("triangle", points).primitive_buffer(),
+        )
+        aabb_input = build_input_for_points("aabb", points)
+        aabb_engine = TraversalEngine(build_bvh(aabb_input.primitive_buffer()), aabb_input.primitive_buffer())
+        tri_engine.trace(_point_rays([3]))
+        aabb_engine.trace(_point_rays([3]))
+        assert tri_engine.counters.hardware_intersection_tests > 0
+        assert tri_engine.counters.software_intersection_calls == 0
+        assert aabb_engine.counters.software_intersection_calls > 0
+        assert aabb_engine.counters.hardware_intersection_tests == 0
+
+    def test_counters_merge(self):
+        a = TraversalCounters(rays=1, node_visits=5, prim_tests=2)
+        b = TraversalCounters(rays=2, node_visits=7, prim_tests=3, max_frontier_size=9)
+        a.merge(b)
+        assert a.rays == 3
+        assert a.node_visits == 12
+        assert a.max_frontier_size == 9
+
+    def test_counters_as_dict_and_derived(self):
+        counters = TraversalCounters(rays=4, node_visits=20, prim_tests=8, node_bytes_read=100, prim_bytes_read=50)
+        as_dict = counters.as_dict()
+        assert as_dict["rays"] == 4
+        assert counters.node_visits_per_ray == pytest.approx(5.0)
+        assert counters.prim_tests_per_ray == pytest.approx(2.0)
+        assert counters.total_bytes_read == 150
