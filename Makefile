@@ -1,0 +1,19 @@
+# Convenience wrappers around the tier-1 test command and the engine
+# perf smoke, so both are one command locally and in CI.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-fast bench-smoke bench-strict
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest -x -q tests
+
+bench-smoke:
+	$(PYTHON) benchmarks/perf_smoke.py
+
+bench-strict:
+	$(PYTHON) benchmarks/perf_smoke.py --strict

@@ -1,0 +1,249 @@
+"""Wall-clock perf smoke for the level-synchronous engine.
+
+Measures the three engine hot paths — ``build_bvh``, ``TraversalEngine.trace``
+and ``refit_accel`` — against the golden reference implementations preserved
+in :mod:`repro.rtx._reference`, verifies observable equivalence on the way
+(identical topology and bit-identical counters), and appends the results to a
+``BENCH_engine.json`` trajectory artifact so future PRs can track the
+engine's speed over time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py            # full smoke
+    PYTHONPATH=src python benchmarks/perf_smoke.py --quick    # 2^14 only
+    PYTHONPATH=src python benchmarks/perf_smoke.py --strict   # enforce targets
+
+Targets (checked, reported, and enforced under ``--strict``):
+
+* ``build_bvh`` (lbvh, 2^18 keys) at least 5x faster than the reference,
+* ``trace`` (2^16 point rays) at least 1.5x faster than the reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.rtx._reference import (
+    reference_build_bvh,
+    reference_refit_bounds,
+    reference_trace,
+)
+from repro.rtx.build_input import build_input_for_points
+from repro.rtx.bvh import BvhBuildOptions, build_bvh
+from repro.rtx.geometry import RayBatch, TriangleBuffer, make_triangle_vertices
+from repro.rtx.refit import refit_accel
+from repro.rtx.traversal import TraversalEngine
+
+DEFAULT_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+BUILD_SPEEDUP_TARGET = 5.0
+TRACE_SPEEDUP_TARGET = 1.5
+
+
+def _time(fn, repeats: int = 1) -> float:
+    """Best-of-N wall-clock seconds for ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _line_points(n: int) -> np.ndarray:
+    return np.column_stack([np.arange(n), np.zeros(n), np.zeros(n)])
+
+
+def bench_build(log2_keys: int, builder: str = "lbvh", compare: bool = True) -> dict:
+    """Time a BVH build at ``2**log2_keys`` keys, optionally vs the reference."""
+    n = 2**log2_keys
+    rng = np.random.default_rng(log2_keys)
+    points = rng.uniform(0, 1e6, size=(n, 3))
+    buffer = TriangleBuffer(make_triangle_vertices(points))
+    options = BvhBuildOptions(builder=builder)
+
+    new_seconds = _time(lambda: build_bvh(buffer, options), repeats=2)
+    entry = {
+        "path": "build",
+        "builder": builder,
+        "log2_keys": log2_keys,
+        "new_seconds": new_seconds,
+    }
+    if compare:
+        built = build_bvh(buffer, options)
+        ref_seconds = _time(lambda: reference_build_bvh(buffer, options))
+        golden = reference_build_bvh(buffer, options)
+        assert np.array_equal(built.left, golden.left), "topology diverged"
+        assert np.array_equal(built.prim_indices, golden.prim_indices)
+        assert np.array_equal(built.node_mins, golden.node_mins)
+        entry["ref_seconds"] = ref_seconds
+        entry["speedup"] = ref_seconds / new_seconds
+    return entry
+
+
+def bench_trace(log2_keys: int, log2_rays: int, compare: bool = True) -> dict:
+    """Time point-lookup tracing of ``2**log2_rays`` rays, vs the reference."""
+    n = 2**log2_keys
+    rng = np.random.default_rng(log2_rays)
+    buffer = build_input_for_points("triangle", _line_points(n)).primitive_buffer()
+    bvh = build_bvh(buffer)
+    xs = rng.uniform(0, n, size=2**log2_rays)
+    rays = RayBatch(
+        origins=np.column_stack([xs, np.zeros_like(xs), np.full_like(xs, -0.5)]),
+        directions=np.tile([0.0, 0.0, 1.0], (xs.shape[0], 1)),
+        tmin=0.0,
+        tmax=1.0,
+    )
+    engine = TraversalEngine(bvh, buffer)
+    engine.trace(rays)  # warm-up (also builds the float64 vertex cache)
+
+    new_seconds = _time(lambda: engine.trace(rays), repeats=2)
+    entry = {
+        "path": "trace",
+        "log2_keys": log2_keys,
+        "log2_rays": log2_rays,
+        "new_seconds": new_seconds,
+    }
+    if compare:
+        engine.reset_counters()
+        hits = engine.trace(rays)
+        ref_seconds = _time(lambda: reference_trace(bvh, buffer, rays))
+        golden_hits, golden_counters = reference_trace(bvh, buffer, rays)
+        assert engine.counters.as_dict() == golden_counters.as_dict(), (
+            "traversal counters diverged"
+        )
+        assert np.array_equal(hits.prim_indices, golden_hits.prim_indices)
+        entry["ref_seconds"] = ref_seconds
+        entry["speedup"] = ref_seconds / new_seconds
+    return entry
+
+
+def bench_refit(log2_keys: int, compare: bool = True) -> dict:
+    """Time a refit at ``2**log2_keys`` keys, vs the reference sweep."""
+    n = 2**log2_keys
+    rng = np.random.default_rng(log2_keys + 100)
+    points = rng.uniform(0, 1e5, size=(n, 3))
+    buffer = TriangleBuffer(make_triangle_vertices(points))
+    bvh = build_bvh(buffer, BvhBuildOptions(allow_update=True))
+    moved = TriangleBuffer(
+        make_triangle_vertices(points + rng.uniform(-1, 1, size=(n, 3)))
+    )
+
+    new_seconds = _time(lambda: refit_accel(bvh, moved), repeats=2)
+    entry = {"path": "refit", "log2_keys": log2_keys, "new_seconds": new_seconds}
+    if compare:
+        golden_mins, golden_maxs = reference_refit_bounds(bvh, moved)
+        ref_seconds = _time(lambda: reference_refit_bounds(bvh, moved))
+        refit_accel(bvh, moved)
+        assert np.array_equal(bvh.node_mins, golden_mins.astype(np.float32))
+        assert np.array_equal(bvh.node_maxs, golden_maxs.astype(np.float32))
+        entry["ref_seconds"] = ref_seconds
+        entry["speedup"] = ref_seconds / new_seconds
+    return entry
+
+
+def run_smoke(quick: bool = False) -> list[dict]:
+    """Run the smoke sweep (2^14–2^18 keys) and return the result entries."""
+    entries = []
+    build_sizes = [14] if quick else [14, 16, 18]
+    for log2_keys in build_sizes:
+        entries.append(bench_build(log2_keys, "lbvh"))
+    if not quick:
+        # The reference SAH/median builders are too slow for the big sizes;
+        # time them where a comparison stays cheap.
+        entries.append(bench_build(14, "median"))
+        entries.append(bench_build(14, "sah"))
+    entries.append(bench_trace(14 if quick else 16, 14 if quick else 16))
+    entries.append(bench_refit(14 if quick else 16))
+    return entries
+
+
+def append_artifact(entries: list[dict], path: Path = DEFAULT_ARTIFACT) -> dict:
+    """Append one run to the ``BENCH_engine.json`` trajectory artifact."""
+    if path.exists():
+        trajectory = json.loads(path.read_text())
+    else:
+        trajectory = {"description": "engine wall-clock trajectory", "runs": []}
+    run = {
+        "unix_time": time.time(),
+        "entries": entries,
+    }
+    trajectory["runs"].append(run)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return run
+
+
+def check_targets(entries: list[dict]) -> list[str]:
+    """Return a list of target violations (empty = all good)."""
+    problems = []
+    for entry in entries:
+        speedup = entry.get("speedup")
+        if speedup is None:
+            continue
+        if entry["path"] == "build" and entry["builder"] == "lbvh" and entry["log2_keys"] >= 18:
+            if speedup < BUILD_SPEEDUP_TARGET:
+                problems.append(
+                    f"build lbvh 2^{entry['log2_keys']}: {speedup:.2f}x < {BUILD_SPEEDUP_TARGET}x"
+                )
+        if entry["path"] == "trace" and entry["log2_rays"] >= 16:
+            if speedup < TRACE_SPEEDUP_TARGET:
+                problems.append(
+                    f"trace 2^{entry['log2_rays']} rays: {speedup:.2f}x < {TRACE_SPEEDUP_TARGET}x"
+                )
+    return problems
+
+
+def format_table(entries: list[dict]) -> str:
+    lines = [
+        f"{'path':<8}{'config':<22}{'new (s)':>10}{'ref (s)':>10}{'speedup':>10}",
+        "-" * 60,
+    ]
+    for entry in entries:
+        if entry["path"] == "build":
+            config = f"{entry['builder']} 2^{entry['log2_keys']} keys"
+        elif entry["path"] == "trace":
+            config = f"2^{entry['log2_rays']} rays / 2^{entry['log2_keys']} keys"
+        else:
+            config = f"2^{entry['log2_keys']} keys"
+        ref = entry.get("ref_seconds")
+        speedup = entry.get("speedup")
+        lines.append(
+            f"{entry['path']:<8}{config:<22}{entry['new_seconds']:>10.3f}"
+            f"{ref if ref is not None else float('nan'):>10.3f}"
+            f"{speedup if speedup is not None else float('nan'):>9.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small sizes only")
+    parser.add_argument(
+        "--strict", action="store_true", help="exit non-zero if targets are missed"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_ARTIFACT, help="trajectory artifact path"
+    )
+    args = parser.parse_args(argv)
+
+    entries = run_smoke(quick=args.quick)
+    append_artifact(entries, args.out)
+    print(format_table(entries))
+    problems = check_targets(entries)
+    if problems:
+        print("\nTARGETS MISSED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1 if args.strict else 0
+    print("\nall speedup targets met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

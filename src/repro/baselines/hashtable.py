@@ -94,25 +94,50 @@ class WarpCoreHashTable(GpuIndex):
         slot_rows = np.zeros(capacity, dtype=np.uint64)
 
         group_of = (_mix_hash(self.keys) % np.uint64(self._num_groups)).astype(np.int64)
+        # The device inserts keys one at a time (hash tables have no bulk
+        # load), but the *outcome* of that sequential process is computed
+        # here with flat array passes.  Group-granular linear probing fills
+        # every group as a prefix of its window, and per-group occupancy —
+        # hence lookup probe lengths and the total insert displacement — is
+        # independent of insertion order.  Processing keys sorted (stably)
+        # by home group therefore preserves every observable of the
+        # sequential loop: probe statistics, the stored (key, rowID) pairs,
+        # per-lookup match sets, and duplicates of a key staying in row
+        # order along their probe sequence.  Only which individual slot a
+        # displaced key occupies may differ, which lookups never expose.
+        #
+        # For keys sorted by home group, "first free slot in the first
+        # non-full group at or after the home group" reduces to a running
+        # maximum over unrolled slot indices:  slot_i = max(slot_{i-1} + 1,
+        # group_size * home_i), i.e. one vectorised maximum.accumulate.
         total_probe_groups = 0
-        # Inserts happen one key at a time (no bulk loading for hash tables).
-        for row_id in range(n):
-            group = int(group_of[row_id])
-            probes = 0
-            while True:
-                probes += 1
-                start = group * self.group_size
-                window = slot_keys[start : start + self.group_size]
-                empty = np.flatnonzero(window == _EMPTY)
-                if empty.size:
-                    slot = start + int(empty[0])
-                    slot_keys[slot] = self.keys[row_id]
-                    slot_rows[slot] = row_id
-                    break
-                group = (group + 1) % self._num_groups
-                if probes > self._num_groups:
+        if n:
+            order = np.argsort(group_of, kind="stable")
+            homes = group_of[order]
+            gs = self.group_size
+            steps = np.arange(n, dtype=np.int64)
+            slots = np.maximum.accumulate(homes * gs - steps) + steps
+            wrapped = slots >= capacity
+            probes = (slots // gs) - homes + 1
+            if wrapped.any():
+                # Keys pushed past the last group continue probing from
+                # group 0; they take the smallest still-free slots in order.
+                n_wrapped = int(wrapped.sum())
+                free = np.setdiff1d(
+                    np.arange(capacity, dtype=np.int64),
+                    slots[~wrapped],
+                    assume_unique=True,
+                )
+                if free.size < n_wrapped:
                     raise RuntimeError("hash table overflow during insert")
-            total_probe_groups += probes
+                wrap_slots = free[:n_wrapped]
+                slots[wrapped] = wrap_slots
+                probes[wrapped] = (
+                    self._num_groups - homes[wrapped] + (wrap_slots // gs) + 1
+                )
+            slot_keys[slots] = self.keys[order]
+            slot_rows[slots] = order.astype(np.uint64)
+            total_probe_groups = int(probes.sum())
 
         self._slot_keys = slot_keys
         self._slot_rows = slot_rows
@@ -170,9 +195,12 @@ class WarpCoreHashTable(GpuIndex):
                 matched_rows = slot_rows[window_idx[q_idx, s_idx]]
                 np.add.at(hits_per_lookup, matched_lookups, 1)
                 aggregate += self.values[matched_rows].sum(dtype=np.uint64)
-                # Record the first matching rowID per lookup.
-                first_mask = result_rows[matched_lookups] == MISS_SENTINEL
-                result_rows[matched_lookups[first_mask]] = matched_rows[first_mask]
+                # Report the smallest matching rowID per lookup.  Duplicates
+                # of a key sit in insertion order along the probe sequence,
+                # so the minimum is the first match — and unlike the raw slot
+                # layout it is identical however the table was filled
+                # (MISS_SENTINEL is the max uint64, the identity for min).
+                np.minimum.at(result_rows, matched_lookups, matched_rows)
 
             # A query retires once its window contains an empty slot (the
             # probe chain is guaranteed to end there); otherwise it moves on.

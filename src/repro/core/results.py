@@ -47,18 +47,16 @@ def aggregate_values(hits: HitRecords, values: np.ndarray) -> int:
 def collect_row_ids(hits: HitRecords, num_lookups: int) -> list[np.ndarray]:
     """Materialise the full list of matching rowIDs per lookup.
 
-    Only used by tests and examples; the benchmark harness sticks to the
-    aggregate to avoid the materialisation cost, like the paper does.
+    One stable argsort groups the hits by lookup and two ``searchsorted``
+    calls find every lookup's slice boundaries, so the per-lookup arrays are
+    zero-copy views into the sorted buffer — no per-lookup allocation.
     """
-    row_lists: list[np.ndarray] = [np.empty(0, dtype=np.uint64) for _ in range(num_lookups)]
     if hits.count == 0:
-        return row_lists
+        return [np.empty(0, dtype=np.uint64) for _ in range(num_lookups)]
     order = np.argsort(hits.lookup_ids, kind="stable")
     sorted_lookups = hits.lookup_ids[order]
     sorted_prims = hits.prim_indices[order].astype(np.uint64)
-    boundaries = np.flatnonzero(np.diff(sorted_lookups)) + 1
-    chunks = np.split(sorted_prims, boundaries)
-    chunk_ids = sorted_lookups[np.concatenate([[0], boundaries])] if sorted_lookups.size else []
-    for lookup_id, chunk in zip(chunk_ids, chunks):
-        row_lists[int(lookup_id)] = chunk
-    return row_lists
+    lookup_range = np.arange(num_lookups, dtype=sorted_lookups.dtype)
+    starts = np.searchsorted(sorted_lookups, lookup_range, side="left")
+    ends = np.searchsorted(sorted_lookups, lookup_range, side="right")
+    return [sorted_prims[s:e] for s, e in zip(starts, ends)]

@@ -88,12 +88,20 @@ class RXIndex(GpuIndex):
     supports_duplicates = True
     max_key_bits = 64
 
-    def __init__(self, config: RXConfig | None = None, context: DeviceContext | None = None):
+    def __init__(
+        self,
+        config: RXConfig | None = None,
+        context: DeviceContext | None = None,
+        max_frontier: int | None = None,
+    ):
         super().__init__()
         self.config = config or RXConfig.paper_default()
         self.config.validate()
         self.codec = make_codec(self.config.key_mode, self.config.decomposition)
         self.context = context or DeviceContext()
+        #: bound on the traversal working set per launch (see
+        #: :class:`repro.rtx.traversal.TraversalEngine`); None = unbounded.
+        self.max_frontier = max_frontier
         self._accel = None
         self._pipeline: Pipeline | None = None
         self._primitive_handle: int | None = None
@@ -160,7 +168,7 @@ class RXIndex(GpuIndex):
         self.context.memory.free(self._primitive_handle)
         self._primitive_handle = None
 
-        self._pipeline = Pipeline(self.context, self._accel)
+        self._pipeline = Pipeline(self.context, self._accel, max_frontier=self.max_frontier)
         bvh = self._accel.bvh
         memory = self.memory_footprint()
         self._build_result = BuildResult(
@@ -279,7 +287,7 @@ class RXIndex(GpuIndex):
         self._store_column(new_keys, new_values, key_bits=64)
         build_input = self._make_build_input(self.keys)
         refit = accel_update(self.context, self._accel, build_input)
-        self._pipeline = Pipeline(self.context, self._accel)
+        self._pipeline = Pipeline(self.context, self._accel, max_frontier=self.max_frontier)
         profile = WorkProfile(
             name="RX refit",
             threads=self.num_keys,

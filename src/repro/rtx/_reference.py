@@ -1,0 +1,426 @@
+"""Golden reference implementations of the pre-vectorisation engine.
+
+The level-synchronous engine in :mod:`repro.rtx.bvh`,
+:mod:`repro.rtx.traversal` and :mod:`repro.rtx.refit` replaced per-node
+Python loops with batched NumPy passes.  The loops it replaced are kept here
+verbatim (modulo trivial renames) as the *golden reference*: the equivalence
+harness in ``tests/test_engine_equivalence.py`` asserts that the vectorised
+engine reproduces these implementations bit for bit — identical tree
+topology, ``prim_indices`` permutation, hit sets and traversal counters —
+and ``benchmarks/perf_smoke.py`` measures the speedup against them.
+
+Nothing in the production paths imports this module; it exists purely so
+equivalence and performance claims stay checkable as the engine evolves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rtx.bvh import Bvh, BvhBuildOptions
+from repro.rtx.geometry import PrimitiveBuffer, RayBatch, ray_box_overlap_pairs
+from repro.rtx.morton import morton_encode_3d
+from repro.rtx.traversal import HitRecords, TraversalCounters
+
+
+# --------------------------------------------------------------------------- #
+# reference BVH build (per-node Python work stack)
+# --------------------------------------------------------------------------- #
+
+
+def reference_build_bvh(
+    primitive_buffer: PrimitiveBuffer,
+    options: BvhBuildOptions | None = None,
+) -> Bvh:
+    """The seed ``build_bvh``: one Python loop iteration per node."""
+    options = options or BvhBuildOptions()
+    options.validate()
+    prim_mins, prim_maxs = primitive_buffer.compute_aabbs()
+    prim_mins = prim_mins.astype(np.float64)
+    prim_maxs = prim_maxs.astype(np.float64)
+    n = prim_mins.shape[0]
+    if n == 0:
+        raise ValueError("cannot build a BVH over zero primitives")
+
+    centroids = 0.5 * (prim_mins + prim_maxs)
+
+    if options.builder == "lbvh":
+        codes = morton_encode_3d(centroids, options.morton_bits)
+        order = np.argsort(codes, kind="stable")
+        splitter = _ReferenceLbvhSplitter(centroids, order, options)
+    elif options.builder == "sah":
+        order = np.arange(n, dtype=np.int64)
+        splitter = _ReferenceSahSplitter(centroids, prim_mins, prim_maxs, options)
+    else:
+        order = np.arange(n, dtype=np.int64)
+        splitter = _ReferenceMedianSplitter(centroids, options)
+
+    builder = _ReferenceTopDownBuilder(prim_mins, prim_maxs, options, splitter)
+    bvh = builder.build(order)
+    bvh.num_primitives = n
+    bvh.build_stats = {
+        "builder": options.builder,
+        "num_primitives": n,
+        "node_count": bvh.node_count,
+        "leaf_count": bvh.leaf_count,
+    }
+    return bvh
+
+
+class _ReferenceTopDownBuilder:
+    """Shared top-down build loop; the splitter decides how ranges split."""
+
+    def __init__(self, prim_mins, prim_maxs, options, splitter):
+        self.prim_mins = prim_mins
+        self.prim_maxs = prim_maxs
+        self.options = options
+        self.splitter = splitter
+        self.node_mins: list[np.ndarray] = []
+        self.node_maxs: list[np.ndarray] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.first_prim: list[int] = []
+        self.prim_count: list[int] = []
+
+    def _new_node(self) -> int:
+        self.node_mins.append(np.zeros(3))
+        self.node_maxs.append(np.zeros(3))
+        self.left.append(-1)
+        self.right.append(-1)
+        self.first_prim.append(0)
+        self.prim_count.append(0)
+        return len(self.left) - 1
+
+    def build(self, order: np.ndarray) -> Bvh:
+        prim_indices = np.array(order, dtype=np.int64, copy=True)
+        root = self._new_node()
+        stack = [(root, 0, len(prim_indices))]
+        while stack:
+            node, start, end = stack.pop()
+            idx = prim_indices[start:end]
+            mins = self.prim_mins[idx]
+            maxs = self.prim_maxs[idx]
+            self.node_mins[node] = mins.min(axis=0)
+            self.node_maxs[node] = maxs.max(axis=0)
+            count = end - start
+            if count <= self.options.max_leaf_size:
+                self.first_prim[node] = start
+                self.prim_count[node] = count
+                continue
+            split = self.splitter.split(prim_indices, start, end)
+            if split is None or split <= start or split >= end:
+                split = start + count // 2
+            left = self._new_node()
+            right = self._new_node()
+            self.left[node] = left
+            self.right[node] = right
+            stack.append((left, start, split))
+            stack.append((right, split, end))
+        return Bvh(
+            node_mins=np.asarray(self.node_mins, dtype=np.float32),
+            node_maxs=np.asarray(self.node_maxs, dtype=np.float32),
+            left=np.asarray(self.left, dtype=np.int64),
+            right=np.asarray(self.right, dtype=np.int64),
+            first_prim=np.asarray(self.first_prim, dtype=np.int64),
+            prim_count=np.asarray(self.prim_count, dtype=np.int64),
+            prim_indices=prim_indices,
+            num_primitives=len(prim_indices),
+            options=self.options,
+        )
+
+
+class _ReferenceMedianSplitter:
+    def __init__(self, centroids, options):
+        self.centroids = centroids
+        self.options = options
+
+    def split(self, prim_indices, start, end):
+        idx = prim_indices[start:end]
+        cents = self.centroids[idx]
+        extents = cents.max(axis=0) - cents.min(axis=0)
+        axis = int(np.argmax(extents))
+        if extents[axis] <= 0.0:
+            return None
+        order = np.argsort(cents[:, axis], kind="stable")
+        prim_indices[start:end] = idx[order]
+        return start + (end - start) // 2
+
+
+class _ReferenceLbvhSplitter:
+    def __init__(self, centroids, order, options):
+        codes = morton_encode_3d(centroids, options.morton_bits)
+        self.sorted_codes = codes[order]
+        self.options = options
+
+    def split(self, prim_indices, start, end):
+        codes = self.sorted_codes[start:end]
+        first, last = int(codes[0]), int(codes[-1])
+        if first == last:
+            return None
+        diff = first ^ last
+        split_bit = diff.bit_length() - 1
+        prefix = first >> split_bit
+        boundary = np.searchsorted(codes >> split_bit, prefix, side="right")
+        return start + int(boundary)
+
+
+class _ReferenceSahSplitter:
+    def __init__(self, centroids, prim_mins, prim_maxs, options):
+        self.centroids = centroids
+        self.prim_mins = prim_mins
+        self.prim_maxs = prim_maxs
+        self.bins = options.sah_bins
+
+    @staticmethod
+    def _area(mins, maxs):
+        ext = np.maximum(maxs - mins, 0.0)
+        return 2.0 * (ext[0] * ext[1] + ext[1] * ext[2] + ext[2] * ext[0])
+
+    def split(self, prim_indices, start, end):
+        idx = prim_indices[start:end]
+        cents = self.centroids[idx]
+        lo = cents.min(axis=0)
+        hi = cents.max(axis=0)
+        extents = hi - lo
+        axis = int(np.argmax(extents))
+        if extents[axis] <= 0.0:
+            return None
+
+        nbins = self.bins
+        scale = nbins / extents[axis]
+        bin_ids = np.minimum(((cents[:, axis] - lo[axis]) * scale).astype(np.int64),
+                             nbins - 1)
+
+        best_cost = np.inf
+        best_bin = -1
+        counts = np.bincount(bin_ids, minlength=nbins)
+        bin_mins = np.full((nbins, 3), np.inf)
+        bin_maxs = np.full((nbins, 3), -np.inf)
+        mins = self.prim_mins[idx]
+        maxs = self.prim_maxs[idx]
+        for b in range(nbins):
+            mask = bin_ids == b
+            if mask.any():
+                bin_mins[b] = mins[mask].min(axis=0)
+                bin_maxs[b] = maxs[mask].max(axis=0)
+        for b in range(1, nbins):
+            left_count = counts[:b].sum()
+            right_count = counts[b:].sum()
+            if left_count == 0 or right_count == 0:
+                continue
+            lmins = bin_mins[:b][counts[:b] > 0]
+            lmaxs = bin_maxs[:b][counts[:b] > 0]
+            rmins = bin_mins[b:][counts[b:] > 0]
+            rmaxs = bin_maxs[b:][counts[b:] > 0]
+            la = self._area(lmins.min(axis=0), lmaxs.max(axis=0))
+            ra = self._area(rmins.min(axis=0), rmaxs.max(axis=0))
+            cost = la * left_count + ra * right_count
+            if cost < best_cost:
+                best_cost = cost
+                best_bin = b
+        if best_bin < 0:
+            return None
+        mask_left = bin_ids < best_bin
+        order = np.argsort(~mask_left, kind="stable")
+        prim_indices[start:end] = idx[order]
+        return start + int(mask_left.sum())
+
+
+# --------------------------------------------------------------------------- #
+# reference traversal (per-round re-gather + re-divide)
+# --------------------------------------------------------------------------- #
+
+
+def reference_trace(
+    bvh: Bvh,
+    primitives: PrimitiveBuffer,
+    rays: RayBatch,
+    any_hit=None,
+    prim_test_bytes: int | None = None,
+    node_cull_respects_tmin: bool = False,
+) -> tuple[HitRecords, TraversalCounters]:
+    """The seed ``TraversalEngine.trace`` loop, returning (hits, counters)."""
+    counters = TraversalCounters()
+    counters.rays = len(rays)
+    node_bytes = bvh.node_bytes()
+    per_prim_bytes = (
+        prim_test_bytes
+        if prim_test_bytes is not None
+        else max(primitives.primitive_bytes() // max(len(primitives), 1), 1)
+    )
+
+    n_rays = len(rays)
+    hit_rays: list[np.ndarray] = []
+    hit_prims: list[np.ndarray] = []
+
+    if n_rays > 0 and bvh.node_count > 0:
+        if node_cull_respects_tmin:
+            node_tmin = rays.tmin
+        else:
+            node_tmin = np.minimum(rays.tmin, np.float32(0.0))
+        frontier_rays = np.arange(n_rays, dtype=np.int64)
+        frontier_nodes = np.zeros(n_rays, dtype=np.int64)
+        while frontier_rays.size:
+            counters.traversal_rounds += 1
+            counters.max_frontier_size = max(
+                counters.max_frontier_size, int(frontier_rays.size)
+            )
+            counters.node_visits += int(frontier_rays.size)
+            counters.box_tests += int(frontier_rays.size)
+            counters.node_bytes_read += int(frontier_rays.size) * node_bytes
+
+            overlap = ray_box_overlap_pairs(
+                rays.origins[frontier_rays],
+                rays.directions[frontier_rays],
+                node_tmin[frontier_rays],
+                rays.tmax[frontier_rays],
+                bvh.node_mins[frontier_nodes],
+                bvh.node_maxs[frontier_nodes],
+            )
+            frontier_rays = frontier_rays[overlap]
+            frontier_nodes = frontier_nodes[overlap]
+            if frontier_rays.size == 0:
+                break
+
+            is_leaf = bvh.left[frontier_nodes] < 0
+            leaf_rays = frontier_rays[is_leaf]
+            leaf_nodes = frontier_nodes[is_leaf]
+            if leaf_rays.size:
+                counts = bvh.prim_count[leaf_nodes]
+                firsts = bvh.first_prim[leaf_nodes]
+                total = int(counts.sum())
+                if total:
+                    pair_rays = np.repeat(leaf_rays, counts)
+                    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+                    within = np.arange(total, dtype=np.int64) - offsets
+                    slot = np.repeat(firsts, counts) + within
+                    pair_prims = bvh.prim_indices[slot]
+                    counters.prim_tests += int(pair_prims.size)
+                    counters.prim_bytes_read += int(pair_prims.size) * per_prim_bytes
+                    if primitives.hardware_intersection:
+                        counters.hardware_intersection_tests += int(pair_prims.size)
+                    else:
+                        counters.software_intersection_calls += int(pair_prims.size)
+                    mask = primitives.intersect_pairs(
+                        rays.origins[pair_rays],
+                        rays.directions[pair_rays],
+                        rays.tmin[pair_rays],
+                        rays.tmax[pair_rays],
+                        pair_prims,
+                    )
+                    hit_rays.append(pair_rays[mask])
+                    hit_prims.append(pair_prims[mask])
+
+            inner_rays = frontier_rays[~is_leaf]
+            inner_nodes = frontier_nodes[~is_leaf]
+            if inner_rays.size:
+                frontier_rays = np.concatenate([inner_rays, inner_rays])
+                frontier_nodes = np.concatenate(
+                    [bvh.left[inner_nodes], bvh.right[inner_nodes]]
+                )
+            else:
+                frontier_rays = np.zeros(0, dtype=np.int64)
+                frontier_nodes = np.zeros(0, dtype=np.int64)
+
+    if hit_rays:
+        ray_indices = np.concatenate(hit_rays)
+        prim_indices = np.concatenate(hit_prims)
+    else:
+        ray_indices = np.zeros(0, dtype=np.int64)
+        prim_indices = np.zeros(0, dtype=np.int64)
+
+    lookup_ids = rays.lookup_ids[ray_indices] if ray_indices.size else ray_indices
+    if any_hit is not None and ray_indices.size:
+        keep = np.asarray(any_hit(ray_indices, prim_indices, lookup_ids), dtype=bool)
+        ray_indices = ray_indices[keep]
+        prim_indices = prim_indices[keep]
+        lookup_ids = lookup_ids[keep]
+
+    counters.prim_hits = int(ray_indices.size)
+    rays_hit = np.unique(ray_indices).size
+    counters.rays_with_hits = int(rays_hit)
+    counters.rays_without_hits = int(n_rays - rays_hit)
+
+    hits = HitRecords(
+        ray_indices=ray_indices,
+        prim_indices=prim_indices,
+        lookup_ids=lookup_ids,
+        num_rays=n_rays,
+    )
+    return hits, counters
+
+
+# --------------------------------------------------------------------------- #
+# reference refit (per-node reverse sweep)
+# --------------------------------------------------------------------------- #
+
+
+def reference_refit_bounds(
+    bvh: Bvh, primitives: PrimitiveBuffer
+) -> tuple[np.ndarray, np.ndarray]:
+    """The seed refit sweep: returns the refitted float64 (mins, maxs).
+
+    Unlike :func:`repro.rtx.refit.refit_accel` this does not mutate ``bvh``
+    and skips the flag/shape validation — it exists to check the vectorised
+    bottom-up pass bit for bit.
+    """
+    prim_mins, prim_maxs = primitives.compute_aabbs()
+    prim_mins = prim_mins.astype(np.float64)
+    prim_maxs = prim_maxs.astype(np.float64)
+
+    node_mins = bvh.node_mins.astype(np.float64)
+    node_maxs = bvh.node_maxs.astype(np.float64)
+
+    for node in range(bvh.node_count - 1, -1, -1):
+        if bvh.left[node] < 0:
+            first = int(bvh.first_prim[node])
+            count = int(bvh.prim_count[node])
+            idx = bvh.prim_indices[first : first + count]
+            node_mins[node] = prim_mins[idx].min(axis=0)
+            node_maxs[node] = prim_maxs[idx].max(axis=0)
+        else:
+            l, r = int(bvh.left[node]), int(bvh.right[node])
+            node_mins[node] = np.minimum(node_mins[l], node_mins[r])
+            node_maxs[node] = np.maximum(node_maxs[l], node_maxs[r])
+    return node_mins, node_maxs
+
+
+# --------------------------------------------------------------------------- #
+# reference hash-table insert loop
+# --------------------------------------------------------------------------- #
+
+
+def reference_hashtable_insert(
+    keys: np.ndarray,
+    group_of: np.ndarray,
+    num_groups: int,
+    group_size: int,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """The seed one-key-at-a-time insert loop of ``WarpCoreHashTable.build``.
+
+    Returns ``(slot_keys, slot_rows, total_probe_groups)``.
+    """
+    from repro.baselines.hashtable import _EMPTY
+
+    capacity = num_groups * group_size
+    slot_keys = np.full(capacity, _EMPTY, dtype=np.uint64)
+    slot_rows = np.zeros(capacity, dtype=np.uint64)
+    total_probe_groups = 0
+    for row_id in range(keys.shape[0]):
+        group = int(group_of[row_id])
+        probes = 0
+        while True:
+            probes += 1
+            start = group * group_size
+            window = slot_keys[start : start + group_size]
+            empty = np.flatnonzero(window == _EMPTY)
+            if empty.size:
+                slot = start + int(empty[0])
+                slot_keys[slot] = keys[row_id]
+                slot_rows[slot] = row_id
+                break
+            group = (group + 1) % num_groups
+            if probes > num_groups:
+                raise RuntimeError("hash table overflow during insert")
+        total_probe_groups += probes
+    return slot_keys, slot_rows, total_probe_groups

@@ -18,6 +18,16 @@ design space:
   quality, slower build).
 * ``"median"`` — object-median split along the widest axis (cheapest).
 
+The build itself is *level-synchronous*: instead of popping one node at a
+time off a Python work stack, every tree level is processed as one batch of
+NumPy passes — segment reductions compute all node bounds of a level at
+once, and each splitter computes every split of the level in vectorised
+form.  This is how GPU builders are actually organised, and it removes the
+interpreter from the per-node hot path entirely.  The emitted node numbering
+is renumbered to the depth-first order the original stack-based builder
+produced, so trees are bit-identical with the golden reference in
+:mod:`repro.rtx._reference` (checked by ``tests/test_engine_equivalence.py``).
+
 The BVH is stored as a structure of arrays so traversal can read node bounds
 without per-node Python objects.
 """
@@ -115,6 +125,10 @@ class Bvh:
     #: filled by refits so lookup-quality degradation can be inspected
     refit_generation: int = 0
     build_stats: dict = field(default_factory=dict)
+    #: lazily computed list of per-level node-id arrays (root level first);
+    #: shared by ``depth()``, ``statistics()`` and the vectorised refit, and
+    #: carried over by compaction since the topology is unchanged.
+    _levels: list[np.ndarray] | None = field(default=None, repr=False, compare=False)
 
     @property
     def node_count(self) -> int:
@@ -131,19 +145,30 @@ class Bvh:
         """Bytes fetched per node visit (identical for compacted accels)."""
         return NODE_FETCH_BYTES
 
+    def level_ranges(self) -> list[np.ndarray]:
+        """Node ids grouped by depth (index 0 = root level), cached.
+
+        The grouping only depends on the topology, which neither refits nor
+        compaction change, so it is computed once per tree with one
+        vectorised gather per level.
+        """
+        if self._levels is None:
+            levels: list[np.ndarray] = []
+            if self.node_count:
+                frontier = np.zeros(1, dtype=np.int64)
+                while frontier.size:
+                    levels.append(frontier)
+                    inner = frontier[self.left[frontier] >= 0]
+                    if inner.size == 0:
+                        break
+                    frontier = np.concatenate([self.left[inner], self.right[inner]])
+            self._levels = levels
+        return self._levels
+
     def depth(self) -> int:
-        """Maximum depth of the tree (root at depth 0), computed iteratively."""
-        if self.node_count == 0:
-            return 0
-        max_depth = 0
-        stack = [(0, 0)]
-        while stack:
-            node, d = stack.pop()
-            max_depth = max(max_depth, d)
-            if not self.is_leaf(node):
-                stack.append((int(self.left[node]), d + 1))
-                stack.append((int(self.right[node]), d + 1))
-        return max_depth
+        """Maximum depth of the tree (root at depth 0)."""
+        levels = self.level_ranges()
+        return max(len(levels) - 1, 0)
 
     def surface_areas(self) -> np.ndarray:
         """Surface area of every node's bounding box."""
@@ -168,17 +193,25 @@ class Bvh:
     def statistics(self) -> BvhStatistics:
         leaves = self.left < 0
         leaf_sizes = self.prim_count[leaves]
-        areas = self.surface_areas()
         # Sibling overlap: shared surface between the two children of each
         # inner node, a cheap proxy for BVH quality degradation after refits.
+        # Computed in float64 with a vectorised reduction; low-order bits may
+        # differ from a sequential float32 per-node accumulation (this is a
+        # diagnostic, not part of the golden-pinned engine surface).
         inner = np.flatnonzero(~leaves)
         overlap = 0.0
-        for node in inner:
-            l, r = int(self.left[node]), int(self.right[node])
-            o_min = np.maximum(self.node_mins[l], self.node_mins[r])
-            o_max = np.minimum(self.node_maxs[l], self.node_maxs[r])
+        if inner.size:
+            l, r = self.left[inner], self.right[inner]
+            o_min = np.maximum(
+                self.node_mins[l].astype(np.float64), self.node_mins[r].astype(np.float64)
+            )
+            o_max = np.minimum(
+                self.node_maxs[l].astype(np.float64), self.node_maxs[r].astype(np.float64)
+            )
             ext = np.maximum(o_max - o_min, 0.0)
-            overlap += float(2.0 * (ext[0] * ext[1] + ext[1] * ext[2] + ext[2] * ext[0]))
+            overlap = float(
+                (2.0 * (ext[:, 0] * ext[:, 1] + ext[:, 1] * ext[:, 2] + ext[:, 2] * ext[:, 0])).sum()
+            )
         return BvhStatistics(
             node_count=self.node_count,
             leaf_count=int(leaves.sum()),
@@ -215,8 +248,9 @@ def build_bvh(
     centroids = 0.5 * (prim_mins + prim_maxs)
 
     if options.builder == "lbvh":
-        order = _lbvh_order(centroids, options.morton_bits)
-        splitter = _LbvhSplitter(centroids, order, options)
+        codes = morton_encode_3d(centroids, options.morton_bits)
+        order = np.argsort(codes, kind="stable")
+        splitter = _LbvhSplitter(codes[order], options)
     elif options.builder == "sah":
         order = np.arange(n, dtype=np.int64)
         splitter = _SahSplitter(centroids, prim_mins, prim_maxs, options)
@@ -224,7 +258,7 @@ def build_bvh(
         order = np.arange(n, dtype=np.int64)
         splitter = _MedianSplitter(centroids, options)
 
-    builder = _TopDownBuilder(prim_mins, prim_maxs, options, splitter)
+    builder = _LevelSynchronousBuilder(prim_mins, prim_maxs, options, splitter)
     bvh = builder.build(order)
     bvh.num_primitives = n
     bvh.build_stats = {
@@ -236,76 +270,224 @@ def build_bvh(
     return bvh
 
 
-def _lbvh_order(centroids: np.ndarray, morton_bits: int) -> np.ndarray:
-    """Sort primitives by the Morton code of their quantised centroid."""
-    codes = morton_encode_3d(centroids, morton_bits)
-    return np.argsort(codes, kind="stable")
+# --------------------------------------------------------------------------- #
+# level-synchronous machinery
+# --------------------------------------------------------------------------- #
 
 
-class _TopDownBuilder:
-    """Shared top-down build loop; the splitter decides how ranges split."""
+def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[starts[i], starts[i] + counts[i])`` into one index array."""
+    total = int(counts.sum())
+    offsets = np.cumsum(counts) - counts
+    return np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
+
+
+def fit_bounds_bottom_up(
+    left: np.ndarray,
+    right: np.ndarray,
+    first_prim: np.ndarray,
+    prim_count: np.ndarray,
+    prim_indices: np.ndarray,
+    prim_mins: np.ndarray,
+    prim_maxs: np.ndarray,
+    levels: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fit every node's bounds bottom-up, one vectorised pass per level.
+
+    Leaf bounds are one segment reduction over the concatenated leaf ranges;
+    inner bounds are the element-wise min/max of the two children, applied
+    level by level from the deepest level upwards.  Because min/max are
+    associative this yields bit-identical results to fitting each node
+    directly from its primitive range.  Shared by the builder and the refit
+    pass in :mod:`repro.rtx.refit`.
+    """
+    num_nodes = left.shape[0]
+    node_mins = np.empty((num_nodes, 3), dtype=prim_mins.dtype)
+    node_maxs = np.empty((num_nodes, 3), dtype=prim_maxs.dtype)
+
+    leaves = np.flatnonzero(left < 0)
+    if leaves.size:
+        counts = prim_count[leaves]
+        offsets = np.cumsum(counts) - counts
+        gather = prim_indices[_concat_ranges(first_prim[leaves], counts)]
+        node_mins[leaves] = np.minimum.reduceat(prim_mins[gather], offsets, axis=0)
+        node_maxs[leaves] = np.maximum.reduceat(prim_maxs[gather], offsets, axis=0)
+
+    for level in reversed(levels):
+        inner = level[left[level] >= 0]
+        if inner.size:
+            l, r = left[inner], right[inner]
+            node_mins[inner] = np.minimum(node_mins[l], node_mins[r])
+            node_maxs[inner] = np.maximum(node_maxs[l], node_maxs[r])
+    return node_mins, node_maxs
+
+
+def _high_bit(values: np.ndarray) -> np.ndarray:
+    """Index of the most significant set bit of each uint64 (0 for zero)."""
+    x = np.asarray(values, dtype=np.uint64).copy()
+    out = np.zeros(x.shape, dtype=np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        big = x >= (np.uint64(1) << np.uint64(shift))
+        out[big] += shift
+        x[big] >>= np.uint64(shift)
+    return out
+
+
+class _LevelSynchronousBuilder:
+    """Top-down build where each tree level is one batch of array passes.
+
+    Node ids are allocated breadth-first during the build (children of a
+    level occupy one contiguous block), then renumbered to the depth-first
+    order of the original stack-based builder so the emitted arrays stay
+    bit-identical with the golden reference.
+    """
 
     def __init__(self, prim_mins, prim_maxs, options, splitter):
         self.prim_mins = prim_mins
         self.prim_maxs = prim_maxs
         self.options = options
         self.splitter = splitter
-        self.node_mins: list[np.ndarray] = []
-        self.node_maxs: list[np.ndarray] = []
-        self.left: list[int] = []
-        self.right: list[int] = []
-        self.first_prim: list[int] = []
-        self.prim_count: list[int] = []
-
-    def _new_node(self) -> int:
-        self.node_mins.append(np.zeros(3))
-        self.node_maxs.append(np.zeros(3))
-        self.left.append(-1)
-        self.right.append(-1)
-        self.first_prim.append(0)
-        self.prim_count.append(0)
-        return len(self.left) - 1
 
     def build(self, order: np.ndarray) -> Bvh:
         prim_indices = np.array(order, dtype=np.int64, copy=True)
-        root = self._new_node()
-        # Work stack of (node_id, start, end) ranges over prim_indices.
-        stack = [(root, 0, len(prim_indices))]
-        while stack:
-            node, start, end = stack.pop()
-            idx = prim_indices[start:end]
-            mins = self.prim_mins[idx]
-            maxs = self.prim_maxs[idx]
-            self.node_mins[node] = mins.min(axis=0)
-            self.node_maxs[node] = maxs.max(axis=0)
-            count = end - start
-            if count <= self.options.max_leaf_size:
-                self.first_prim[node] = start
-                self.prim_count[node] = count
-                continue
-            split = self.splitter.split(prim_indices, start, end)
-            if split is None or split <= start or split >= end:
-                # The splitter could not separate the range (e.g. identical
-                # Morton codes or identical centroids): fall back to a median
-                # split by index, as GPU builders do.
-                split = start + count // 2
-            left = self._new_node()
-            right = self._new_node()
-            self.left[node] = left
-            self.right[node] = right
-            stack.append((left, start, split))
-            stack.append((right, split, end))
+        n = prim_indices.shape[0]
+        cap = max(2 * n - 1, 1)
+        left = np.full(cap, -1, dtype=np.int64)
+        right = np.full(cap, -1, dtype=np.int64)
+        first_prim = np.zeros(cap, dtype=np.int64)
+        prim_count = np.zeros(cap, dtype=np.int64)
+
+        max_leaf = self.options.max_leaf_size
+        # Current level: node ids with their [start, end) ranges over
+        # prim_indices, kept sorted by start (ids are then contiguous too).
+        # The loop only derives the topology; bounds are fitted afterwards in
+        # one bottom-up pass, which touches every primitive once instead of
+        # once per level.
+        ids = np.zeros(1, dtype=np.int64)
+        starts = np.zeros(1, dtype=np.int64)
+        ends = np.full(1, n, dtype=np.int64)
+        num_nodes = 1
+        level_bounds: list[tuple[int, int]] = [(0, 1)]
+
+        while ids.size:
+            counts = ends - starts
+            leaf_mask = counts <= max_leaf
+            leaf_ids = ids[leaf_mask]
+            first_prim[leaf_ids] = starts[leaf_mask]
+            prim_count[leaf_ids] = counts[leaf_mask]
+
+            split_mask = ~leaf_mask
+            s_ids = ids[split_mask]
+            if s_ids.size == 0:
+                break
+            s_starts = starts[split_mask]
+            s_ends = ends[split_mask]
+            splits = self.splitter.split_level(prim_indices, s_starts, s_ends)
+            # Ranges the splitter could not separate (identical Morton codes
+            # or identical centroids) fall back to a median split by index,
+            # as GPU builders do.
+            fallback = (splits <= s_starts) | (splits >= s_ends)
+            splits = np.where(
+                fallback, s_starts + (s_ends - s_starts) // 2, splits
+            )
+
+            k = s_ids.shape[0]
+            child_base = num_nodes
+            left_ids = child_base + 2 * np.arange(k, dtype=np.int64)
+            right_ids = left_ids + 1
+            left[s_ids] = left_ids
+            right[s_ids] = right_ids
+
+            # Next level, interleaved (left0, right0, left1, right1, ...) so
+            # ranges stay sorted by start and ids stay contiguous.
+            ids = child_base + np.arange(2 * k, dtype=np.int64)
+            new_starts = np.empty(2 * k, dtype=np.int64)
+            new_ends = np.empty(2 * k, dtype=np.int64)
+            new_starts[0::2] = s_starts
+            new_ends[0::2] = splits
+            new_starts[1::2] = splits
+            new_ends[1::2] = s_ends
+            starts, ends = new_starts, new_ends
+            num_nodes += 2 * k
+            level_bounds.append((child_base, num_nodes))
+
+        left = left[:num_nodes]
+        right = right[:num_nodes]
+        first_prim = first_prim[:num_nodes]
+        prim_count = prim_count[:num_nodes]
+        bfs_levels = [
+            np.arange(ls, le, dtype=np.int64) for ls, le in level_bounds
+        ]
+        node_mins, node_maxs = fit_bounds_bottom_up(
+            left, right, first_prim, prim_count,
+            prim_indices, self.prim_mins, self.prim_maxs, bfs_levels,
+        )
+
+        perm = _dfs_renumbering(left, right, level_bounds)
+        out_mins = np.empty((num_nodes, 3), dtype=np.float32)
+        out_maxs = np.empty((num_nodes, 3), dtype=np.float32)
+        out_left = np.empty(num_nodes, dtype=np.int64)
+        out_right = np.empty(num_nodes, dtype=np.int64)
+        out_first = np.empty(num_nodes, dtype=np.int64)
+        out_count = np.empty(num_nodes, dtype=np.int64)
+        out_mins[perm] = node_mins.astype(np.float32)
+        out_maxs[perm] = node_maxs.astype(np.float32)
+        safe_left = np.maximum(left, 0)
+        safe_right = np.maximum(right, 0)
+        out_left[perm] = np.where(left >= 0, perm[safe_left], -1)
+        out_right[perm] = np.where(right >= 0, perm[safe_right], -1)
+        out_first[perm] = first_prim
+        out_count[perm] = prim_count
         return Bvh(
-            node_mins=np.asarray(self.node_mins, dtype=np.float32),
-            node_maxs=np.asarray(self.node_maxs, dtype=np.float32),
-            left=np.asarray(self.left, dtype=np.int64),
-            right=np.asarray(self.right, dtype=np.int64),
-            first_prim=np.asarray(self.first_prim, dtype=np.int64),
-            prim_count=np.asarray(self.prim_count, dtype=np.int64),
+            node_mins=out_mins,
+            node_maxs=out_maxs,
+            left=out_left,
+            right=out_right,
+            first_prim=out_first,
+            prim_count=out_count,
             prim_indices=prim_indices,
-            num_primitives=len(prim_indices),
+            num_primitives=n,
             options=self.options,
         )
+
+
+def _dfs_renumbering(
+    left: np.ndarray, right: np.ndarray, level_bounds: list[tuple[int, int]]
+) -> np.ndarray:
+    """Map breadth-first node ids to the stack-based builder's numbering.
+
+    The original builder popped ``(node, range)`` tuples off a Python list
+    (right child first) and allocated both children consecutively when a node
+    was popped.  That numbering is reconstructed without any per-node loop:
+    subtree sizes (bottom-up) give each node's position in the right-first
+    depth-first preorder (top-down), and the k-th inner node in that order
+    allocated ids ``2k + 1`` / ``2k + 2`` for its children.
+    """
+    num_nodes = left.shape[0]
+    size = np.ones(num_nodes, dtype=np.int64)
+    for level_start, level_end in reversed(level_bounds):
+        nodes = np.arange(level_start, level_end, dtype=np.int64)
+        inner = nodes[left[nodes] >= 0]
+        if inner.size:
+            size[inner] += size[left[inner]] + size[right[inner]]
+
+    pos = np.zeros(num_nodes, dtype=np.int64)
+    for level_start, level_end in level_bounds:
+        nodes = np.arange(level_start, level_end, dtype=np.int64)
+        inner = nodes[left[nodes] >= 0]
+        if inner.size:
+            pos[right[inner]] = pos[inner] + 1
+            pos[left[inner]] = pos[inner] + 1 + size[right[inner]]
+
+    perm = np.empty(num_nodes, dtype=np.int64)
+    perm[0] = 0
+    inner_all = np.flatnonzero(left >= 0)
+    if inner_all.size:
+        ordered = inner_all[np.argsort(pos[inner_all], kind="stable")]
+        child_ids = 1 + 2 * np.arange(ordered.size, dtype=np.int64)
+        perm[left[ordered]] = child_ids
+        perm[right[ordered]] = child_ids + 1
+    return perm
 
 
 class _MedianSplitter:
@@ -315,16 +497,28 @@ class _MedianSplitter:
         self.centroids = centroids
         self.options = options
 
-    def split(self, prim_indices, start, end):
-        idx = prim_indices[start:end]
-        cents = self.centroids[idx]
-        extents = cents.max(axis=0) - cents.min(axis=0)
-        axis = int(np.argmax(extents))
-        if extents[axis] <= 0.0:
-            return None
-        order = np.argsort(cents[:, axis], kind="stable")
-        prim_indices[start:end] = idx[order]
-        return start + (end - start) // 2
+    def split_level(self, prim_indices, starts, ends):
+        counts = ends - starts
+        offsets = np.cumsum(counts) - counts
+        gather = _concat_ranges(starts, counts)
+        prims = prim_indices[gather]
+        cents = self.centroids[prims]
+        cmin = np.minimum.reduceat(cents, offsets, axis=0)
+        cmax = np.maximum.reduceat(cents, offsets, axis=0)
+        ext = cmax - cmin
+        axis = np.argmax(ext, axis=1)
+        rows = np.arange(starts.shape[0])
+        splittable = ext[rows, axis] > 0.0
+
+        # One stable lexsort keyed by (segment, coordinate on the segment's
+        # widest axis) reorders every range of the level at once.  Ranges
+        # whose widest extent is zero have all-equal keys, so the stable sort
+        # leaves them untouched — exactly the reference behaviour.
+        seg_ids = np.repeat(rows, counts)
+        keys = cents[np.arange(gather.shape[0]), axis[seg_ids]]
+        order = np.lexsort((keys, seg_ids))
+        prim_indices[gather] = prims[order]
+        return np.where(splittable, starts + counts // 2, np.int64(-1))
 
 
 class _LbvhSplitter:
@@ -332,34 +526,46 @@ class _LbvhSplitter:
 
     Primitives arrive already sorted by Morton code, so a split is simply the
     first index whose code differs from the range's first code in the most
-    significant differing bit.  Ranges with identical codes fall back to an
-    index-median split (handled by the caller), which reproduces the
-    fully-overlapping sibling nodes that degrade traversal for pathological
-    coordinate distributions.
+    significant differing bit.  All splits of a level are found with one
+    vectorised binary search over the shared sorted-code array.  Ranges with
+    identical codes fall back to an index-median split (handled by the
+    caller), which reproduces the fully-overlapping sibling nodes that
+    degrade traversal for pathological coordinate distributions.
     """
 
-    def __init__(self, centroids, order, options):
-        codes = morton_encode_3d(centroids, options.morton_bits)
-        self.sorted_codes = codes[order]
-        # Map from primitive id to position so we can recover sorted positions.
+    def __init__(self, sorted_codes, options):
+        self.sorted_codes = sorted_codes
         self.options = options
 
-    def split(self, prim_indices, start, end):
-        codes = self.sorted_codes[start:end]
-        first, last = int(codes[0]), int(codes[-1])
-        if first == last:
-            return None
-        # Highest bit in which first and last differ.
+    def split_level(self, prim_indices, starts, ends):
+        codes = self.sorted_codes
+        first = codes[starts]
+        last = codes[ends - 1]
         diff = first ^ last
-        split_bit = diff.bit_length() - 1
-        prefix = first >> split_bit
-        # First position whose code has a different prefix above split_bit.
-        boundary = np.searchsorted(codes >> split_bit, prefix, side="right")
-        return start + int(boundary)
+        splittable = diff != np.uint64(0)
+        shift = _high_bit(diff).astype(np.uint64)
+        prefix = first >> shift
+
+        # Batched binary search: per range, the first position whose code has
+        # a prefix above the split bit greater than the range's first code.
+        lo = starts.copy()
+        hi = ends.copy()
+        last = np.int64(codes.shape[0] - 1)
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            # Inactive lanes have lo == hi, which may sit one past the end of
+            # the code array; clamping keeps the (discarded) gather in bounds.
+            mid = np.minimum((lo + hi) >> 1, last)
+            below = (codes[mid] >> shift) <= prefix
+            lo = np.where(active & below, mid + 1, lo)
+            hi = np.where(active & ~below, mid, hi)
+        return np.where(splittable, lo, np.int64(-1))
 
 
 class _SahSplitter:
-    """Binned surface-area-heuristic splitter."""
+    """Binned surface-area-heuristic splitter, one level per batch."""
 
     def __init__(self, centroids, prim_mins, prim_maxs, options):
         self.centroids = centroids
@@ -368,57 +574,85 @@ class _SahSplitter:
         self.bins = options.sah_bins
 
     @staticmethod
-    def _area(mins, maxs):
+    def _areas(mins: np.ndarray, maxs: np.ndarray) -> np.ndarray:
+        """Surface areas over a trailing xyz axis (any leading shape)."""
         ext = np.maximum(maxs - mins, 0.0)
-        return 2.0 * (ext[0] * ext[1] + ext[1] * ext[2] + ext[2] * ext[0])
+        return 2.0 * (
+            ext[..., 0] * ext[..., 1]
+            + ext[..., 1] * ext[..., 2]
+            + ext[..., 2] * ext[..., 0]
+        )
 
-    def split(self, prim_indices, start, end):
-        idx = prim_indices[start:end]
-        cents = self.centroids[idx]
-        lo = cents.min(axis=0)
-        hi = cents.max(axis=0)
-        extents = hi - lo
-        axis = int(np.argmax(extents))
-        if extents[axis] <= 0.0:
-            return None
-
+    def split_level(self, prim_indices, starts, ends):
         nbins = self.bins
-        scale = nbins / extents[axis]
-        bin_ids = np.minimum(((cents[:, axis] - lo[axis]) * scale).astype(np.int64),
-                             nbins - 1)
+        num_ranges = starts.shape[0]
+        counts = ends - starts
+        offsets = np.cumsum(counts) - counts
+        gather = _concat_ranges(starts, counts)
+        prims = prim_indices[gather]
+        cents = self.centroids[prims]
+        cmin = np.minimum.reduceat(cents, offsets, axis=0)
+        cmax = np.maximum.reduceat(cents, offsets, axis=0)
+        ext = cmax - cmin
+        axis = np.argmax(ext, axis=1)
+        rows = np.arange(num_ranges)
+        axis_ext = ext[rows, axis]
+        splittable = axis_ext > 0.0
 
-        best_cost = np.inf
-        best_bin = -1
-        counts = np.bincount(bin_ids, minlength=nbins)
-        # Grow bin bounds.
-        bin_mins = np.full((nbins, 3), np.inf)
-        bin_maxs = np.full((nbins, 3), -np.inf)
-        mins = self.prim_mins[idx]
-        maxs = self.prim_maxs[idx]
-        for b in range(nbins):
-            mask = bin_ids == b
-            if mask.any():
-                bin_mins[b] = mins[mask].min(axis=0)
-                bin_maxs[b] = maxs[mask].max(axis=0)
-        # Sweep candidate partitions.
-        for b in range(1, nbins):
-            left_count = counts[:b].sum()
-            right_count = counts[b:].sum()
-            if left_count == 0 or right_count == 0:
-                continue
-            lmins = bin_mins[:b][counts[:b] > 0]
-            lmaxs = bin_maxs[:b][counts[:b] > 0]
-            rmins = bin_mins[b:][counts[b:] > 0]
-            rmaxs = bin_maxs[b:][counts[b:] > 0]
-            la = self._area(lmins.min(axis=0), lmaxs.max(axis=0))
-            ra = self._area(rmins.min(axis=0), rmaxs.max(axis=0))
-            cost = la * left_count + ra * right_count
-            if cost < best_cost:
-                best_cost = cost
-                best_bin = b
-        if best_bin < 0:
-            return None
-        mask_left = bin_ids < best_bin
-        order = np.argsort(~mask_left, kind="stable")
-        prim_indices[start:end] = idx[order]
-        return start + int(mask_left.sum())
+        seg_ids = np.repeat(rows, counts)
+        scale = np.where(splittable, nbins / np.where(splittable, axis_ext, 1.0), 0.0)
+        values = cents[np.arange(gather.shape[0]), axis[seg_ids]]
+        rel = (values - cmin[seg_ids, axis[seg_ids]]) * scale[seg_ids]
+        bin_ids = np.minimum(rel.astype(np.int64), nbins - 1)
+
+        # Per-(range, bin) primitive counts and bounds via one stable sort.
+        flat = seg_ids * nbins + bin_ids
+        bin_counts = np.bincount(flat, minlength=num_ranges * nbins).reshape(
+            num_ranges, nbins
+        )
+        sort = np.argsort(flat, kind="stable")
+        sorted_flat = flat[sort]
+        group_starts = np.flatnonzero(
+            np.r_[True, sorted_flat[1:] != sorted_flat[:-1]]
+        )
+        bin_mins = np.full((num_ranges * nbins, 3), np.inf)
+        bin_maxs = np.full((num_ranges * nbins, 3), -np.inf)
+        sorted_prims = prims[sort]
+        bin_mins[sorted_flat[group_starts]] = np.minimum.reduceat(
+            self.prim_mins[sorted_prims], group_starts, axis=0
+        )
+        bin_maxs[sorted_flat[group_starts]] = np.maximum.reduceat(
+            self.prim_maxs[sorted_prims], group_starts, axis=0
+        )
+        bin_mins = bin_mins.reshape(num_ranges, nbins, 3)
+        bin_maxs = bin_maxs.reshape(num_ranges, nbins, 3)
+
+        # Sweep all candidate partitions of every range at once: prefix
+        # bounds from the left, suffix bounds from the right.  Empty bins are
+        # inf-padded and never affect a non-empty side's min/max.
+        prefix_min = np.minimum.accumulate(bin_mins, axis=1)
+        prefix_max = np.maximum.accumulate(bin_maxs, axis=1)
+        suffix_min = np.minimum.accumulate(bin_mins[:, ::-1], axis=1)[:, ::-1]
+        suffix_max = np.maximum.accumulate(bin_maxs[:, ::-1], axis=1)[:, ::-1]
+        prefix_counts = np.cumsum(bin_counts, axis=1)
+
+        left_counts = prefix_counts[:, :-1]
+        right_counts = counts[:, None] - left_counts
+        with np.errstate(invalid="ignore"):
+            left_area = self._areas(prefix_min[:, :-1], prefix_max[:, :-1])
+            right_area = self._areas(suffix_min[:, 1:], suffix_max[:, 1:])
+            cost = left_area * left_counts + right_area * right_counts
+        cost = np.where((left_counts == 0) | (right_counts == 0), np.inf, cost)
+        best = np.argmin(cost, axis=1)
+        valid = splittable & np.isfinite(cost[rows, best])
+        best_bin = best + 1
+
+        # Stable partition of every valid range: left-group primitives first,
+        # original order preserved within both groups.  Invalid ranges get an
+        # all-equal key and therefore stay untouched.
+        go_right = (bin_ids >= best_bin[seg_ids]) & valid[seg_ids]
+        order = np.lexsort((go_right, seg_ids))
+        prim_indices[gather] = prims[order]
+
+        splits = starts + left_counts[rows, best]
+        return np.where(valid, splits, np.int64(-1))

@@ -157,6 +157,20 @@ class PrimitiveBuffer:
         raise NotImplementedError
 
 
+def _cross_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise 3D cross product.
+
+    Same component expressions (and therefore bit-identical results) as
+    ``np.cross`` on ``(m, 3)`` inputs, without its axis-shuffling overhead —
+    this sits on the per-pair intersection hot path.
+    """
+    out = np.empty_like(a)
+    out[:, 0] = a[:, 1] * b[:, 2] - a[:, 2] * b[:, 1]
+    out[:, 1] = a[:, 2] * b[:, 0] - a[:, 0] * b[:, 2]
+    out[:, 2] = a[:, 0] * b[:, 1] - a[:, 1] * b[:, 0]
+    return out
+
+
 class TriangleBuffer(PrimitiveBuffer):
     """Triangles stored as an ``(n, 3, 3)`` float32 vertex array."""
 
@@ -168,6 +182,21 @@ class TriangleBuffer(PrimitiveBuffer):
         if vertices.ndim != 3 or vertices.shape[1:] != (3, 3):
             raise ValueError("triangle vertices must have shape (n, 3, 3)")
         self.vertices = vertices
+        self._vertices64: np.ndarray | None = None
+
+    def _vertices_f64(self) -> np.ndarray:
+        """Float64 copy of the vertices, converted once and cached.
+
+        Gather-then-convert and convert-then-gather commute elementwise, so
+        intersection results are unchanged; the cache just keeps the
+        conversion off the per-trace-round hot path.  It is invalidated by
+        :meth:`compute_aabbs`, which every build/refit path calls, so
+        callers that move primitives in place and rebuild or refit never
+        intersect against stale geometry.
+        """
+        if self._vertices64 is None:
+            self._vertices64 = self.vertices.astype(np.float64)
+        return self._vertices64
 
     def __len__(self) -> int:
         return int(self.vertices.shape[0])
@@ -177,6 +206,9 @@ class TriangleBuffer(PrimitiveBuffer):
         return len(self) * 9 * FLOAT_BYTES
 
     def compute_aabbs(self) -> tuple[np.ndarray, np.ndarray]:
+        # Bounds are recomputed exactly when the vertices may have moved
+        # (accel build or refit), so drop the cached float64 conversion.
+        self._vertices64 = None
         mins = self.vertices.min(axis=1)
         maxs = self.vertices.max(axis=1)
         return mins, maxs
@@ -188,7 +220,7 @@ class TriangleBuffer(PrimitiveBuffer):
         prim_indices = np.asarray(prim_indices, dtype=np.int64)
         if prim_indices.size == 0:
             return np.zeros(0, dtype=bool)
-        tri = self.vertices[prim_indices].astype(np.float64)
+        tri = self._vertices_f64()[prim_indices]
         o = np.asarray(origins, dtype=np.float64)
         d = np.asarray(directions, dtype=np.float64)
         tmins = np.asarray(tmins, dtype=np.float64)
@@ -196,7 +228,7 @@ class TriangleBuffer(PrimitiveBuffer):
         v0 = tri[:, 0]
         e1 = tri[:, 1] - v0
         e2 = tri[:, 2] - v0
-        pvec = np.cross(d, e2)
+        pvec = _cross_rows(d, e2)
         det = np.einsum("ij,ij->i", e1, pvec)
         eps = 1e-12
         parallel = np.abs(det) < eps
@@ -204,7 +236,7 @@ class TriangleBuffer(PrimitiveBuffer):
         inv_det = 1.0 / safe_det
         tvec = o - v0
         u = np.einsum("ij,ij->i", tvec, pvec) * inv_det
-        qvec = np.cross(tvec, e1)
+        qvec = _cross_rows(tvec, e1)
         v = np.einsum("ij,ij->i", d, qvec) * inv_det
         t = np.einsum("ij,ij->i", e2, qvec) * inv_det
         return (

@@ -205,9 +205,17 @@ class Pipeline:
     accel: GeometryAccel
     raygen: Callable[..., RayBatch] | None = None
     any_hit: Callable | None = None
+    #: forwarded to :class:`TraversalEngine` — bounds the number of
+    #: (ray, node) pairs materialised at once so huge launches stream in
+    #: bounded-memory slices; counters and hits are identical either way.
+    max_frontier: int | None = None
 
     def __post_init__(self) -> None:
-        self._engine = TraversalEngine(self.accel.bvh, self.accel.build_input.primitive_buffer())
+        self._engine = TraversalEngine(
+            self.accel.bvh,
+            self.accel.build_input.primitive_buffer(),
+            max_frontier=self.max_frontier,
+        )
 
     @property
     def engine(self) -> TraversalEngine:
@@ -215,7 +223,11 @@ class Pipeline:
 
     def refresh(self) -> None:
         """Re-bind the traversal engine after a rebuild/refit of the accel."""
-        self._engine = TraversalEngine(self.accel.bvh, self.accel.build_input.primitive_buffer())
+        self._engine = TraversalEngine(
+            self.accel.bvh,
+            self.accel.build_input.primitive_buffer(),
+            max_frontier=self.max_frontier,
+        )
 
     def launch(self, rays: RayBatch | None = None, num_lookups: int | None = None, **raygen_params) -> LaunchResult:
         """Launch the pipeline for a batch of rays.

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.rtx.bvh import Bvh
+from repro.rtx.bvh import Bvh, fit_bounds_bottom_up
 from repro.rtx.geometry import PrimitiveBuffer
 
 
@@ -62,22 +62,15 @@ def refit_accel(bvh: Bvh, primitives: PrimitiveBuffer) -> RefitResult:
     prim_mins = prim_mins.astype(np.float64)
     prim_maxs = prim_maxs.astype(np.float64)
 
-    node_mins = bvh.node_mins.astype(np.float64)
-    node_maxs = bvh.node_maxs.astype(np.float64)
-
-    # In the top-down builder children always have larger indices than their
-    # parent, so a single reverse sweep updates leaves before inner nodes.
-    for node in range(bvh.node_count - 1, -1, -1):
-        if bvh.left[node] < 0:
-            first = int(bvh.first_prim[node])
-            count = int(bvh.prim_count[node])
-            idx = bvh.prim_indices[first : first + count]
-            node_mins[node] = prim_mins[idx].min(axis=0)
-            node_maxs[node] = prim_maxs[idx].max(axis=0)
-        else:
-            l, r = int(bvh.left[node]), int(bvh.right[node])
-            node_mins[node] = np.minimum(node_mins[l], node_mins[r])
-            node_maxs[node] = np.maximum(node_maxs[l], node_maxs[r])
+    # Level-synchronous bottom-up pass: all leaves are refitted with one
+    # segment reduction, then each level's inner nodes take the element-wise
+    # min/max of their children — the same arithmetic as a per-node reverse
+    # sweep, without the per-node interpreter loop.  The level grouping is
+    # cached on the Bvh since refits never change the topology.
+    node_mins, node_maxs = fit_bounds_bottom_up(
+        bvh.left, bvh.right, bvh.first_prim, bvh.prim_count,
+        bvh.prim_indices, prim_mins, prim_maxs, bvh.level_ranges(),
+    )
 
     bvh.node_mins = node_mins.astype(np.float32)
     bvh.node_maxs = node_maxs.astype(np.float32)

@@ -7,6 +7,16 @@ per-ray stack traversal the RT cores perform; the counters it produces
 (node visits, box tests, primitive intersection tests, bytes touched) are the
 quantities the paper reads from Nsight Compute and that our GPU cost model
 converts into simulated milliseconds.
+
+Per-batch work is hoisted out of the per-round loop: ray origins, inverse
+directions and the float64 node boxes are materialised once per ``trace``
+call, rounds reuse a pair of preallocated child-expansion buffers, and the
+``max_frontier`` knob streams the per-pair slab/intersection tests of huge
+frontiers in bounded-memory slices.  None of this changes observable
+behaviour — hit records and every counter (including ``traversal_rounds``
+and ``max_frontier_size``, which count the *logical* frontier) are
+bit-identical with the reference loop in :mod:`repro.rtx._reference` for any
+``max_frontier`` setting.
 """
 
 from __future__ import annotations
@@ -16,7 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.rtx.bvh import Bvh
-from repro.rtx.geometry import PrimitiveBuffer, RayBatch, ray_box_overlap_pairs
+from repro.rtx.geometry import PrimitiveBuffer, RayBatch
 
 
 @dataclass
@@ -108,6 +118,76 @@ class HitRecords:
         return np.bincount(self.ray_indices, minlength=self.num_rays)
 
 
+def _frontier_box_overlap(
+    origins32: np.ndarray,
+    directions32: np.ndarray,
+    node_tmin32: np.ndarray,
+    tmax32: np.ndarray,
+    node_mins32: np.ndarray,
+    node_maxs32: np.ndarray,
+    frontier_rays: np.ndarray,
+    frontier_nodes: np.ndarray,
+) -> np.ndarray:
+    """Slab test of frontier (ray, node) pairs.
+
+    Performs the same float64 arithmetic as
+    :func:`repro.rtx.geometry.ray_box_overlap_pairs` — results are
+    bit-identical — but specialises each axis on whether *any* ray of the
+    frontier is parallel to it.  The paper's workloads trace axis-aligned
+    rays (point rays along z, range rays along x), so two of the three axes
+    take the all-parallel fast path, which needs only an in-slab test, and
+    the remaining axis skips the parallel blends entirely.  Inputs arrive
+    transposed (per-axis rows) so every per-pair gather is a contiguous 1D
+    take.
+    """
+    lo = node_tmin32[frontier_rays].astype(np.float64)
+    hi = tmax32[frontier_rays].astype(np.float64)
+    ok: np.ndarray | None = None
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for axis in range(3):
+            da32 = directions32[axis][frontier_rays]
+            # Float32 directions convert to float64 magnitudes of at least
+            # ~1.4e-45, so the reference's |d| < 1e-300 test is exactly a
+            # zero test on the raw float32 values.
+            parallel = da32 == np.float32(0.0)
+            n_parallel = np.count_nonzero(parallel)
+            if n_parallel == parallel.shape[0]:
+                # Whole frontier parallel to this axis (axis-aligned ray
+                # batches): only the in-slab test matters, and float32
+                # comparisons equal the reference's compare-after-convert.
+                oa32 = origins32[axis][frontier_rays]
+                inside = (oa32 >= node_mins32[axis][frontier_nodes]) & (
+                    oa32 <= node_maxs32[axis][frontier_nodes]
+                )
+                ok = inside if ok is None else (ok & inside)
+                continue
+            da = da32.astype(np.float64)
+            oa = origins32[axis][frontier_rays].astype(np.float64)
+            bmin = node_mins32[axis][frontier_nodes].astype(np.float64)
+            bmax = node_maxs32[axis][frontier_nodes].astype(np.float64)
+            if n_parallel == 0:
+                inv = 1.0 / da
+                t0 = (bmin - oa) * inv
+                t1 = (bmax - oa) * inv
+                np.maximum(lo, np.minimum(t0, t1), out=lo)
+                np.minimum(hi, np.maximum(t0, t1), out=hi)
+            else:
+                inv = np.where(parallel, np.inf, 1.0 / np.where(parallel, 1.0, da))
+                t0 = (bmin - oa) * inv
+                t1 = (bmax - oa) * inv
+                near = np.minimum(t0, t1)
+                far = np.maximum(t0, t1)
+                lo = np.where(parallel, lo, np.maximum(lo, near))
+                hi = np.where(parallel, hi, np.minimum(hi, far))
+                inside = (oa >= bmin) & (oa <= bmax)
+                miss = parallel & ~inside
+                ok = ~miss if ok is None else (ok & ~miss)
+    result = lo <= hi
+    if ok is not None:
+        result &= ok
+    return result
+
+
 @dataclass
 class TraversalEngine:
     """Traces ray batches against a BVH over a primitive buffer."""
@@ -124,6 +204,12 @@ class TraversalEngine:
     #: explainable this way.  Set to True to model an idealised traversal
     #: that culls against the full [tmin, tmax] interval.
     node_cull_respects_tmin: bool = False
+    #: Upper bound on the number of (ray, node) pairs whose geometry is
+    #: materialised at once.  Frontiers larger than this are streamed through
+    #: the slab/intersection tests in slices, bounding peak memory for huge
+    #: batches.  Purely an execution-schedule knob: hit records and all
+    #: counters are identical for every setting.  ``None`` disables slicing.
+    max_frontier: int | None = None
     counters: TraversalCounters = field(default_factory=TraversalCounters)
 
     def reset_counters(self) -> None:
@@ -158,58 +244,98 @@ class TraversalEngine:
                 # Nodes in front of the origin but before tmin are still
                 # visited; only their primitive hits are rejected later.
                 node_tmin = np.minimum(rays.tmin, np.float32(0.0))
+
+            origins = rays.origins
+            directions = rays.directions
+            prim_lo = rays.tmin
+            t_hi = rays.tmax
+            # Transposed copies (one contiguous row per axis) so the slab
+            # test gathers single scalars per pair instead of strided rows;
+            # built once per batch.
+            origins_t = np.ascontiguousarray(origins.T)
+            directions_t = np.ascontiguousarray(directions.T)
+            mins_t = np.ascontiguousarray(bvh.node_mins.T)
+            maxs_t = np.ascontiguousarray(bvh.node_maxs.T)
+            left, right = bvh.left, bvh.right
+
+            chunk = self.max_frontier if self.max_frontier else None
             frontier_rays = np.arange(n_rays, dtype=np.int64)
             frontier_nodes = np.zeros(n_rays, dtype=np.int64)
-            while frontier_rays.size:
-                counters.traversal_rounds += 1
-                counters.max_frontier_size = max(
-                    counters.max_frontier_size, int(frontier_rays.size)
-                )
-                counters.node_visits += int(frontier_rays.size)
-                counters.box_tests += int(frontier_rays.size)
-                counters.node_bytes_read += int(frontier_rays.size) * node_bytes
+            # Reused child-expansion buffers (grown geometrically); the
+            # frontier for the next round is a view into the active one.
+            child_rays = np.empty(0, dtype=np.int64)
+            child_nodes = np.empty(0, dtype=np.int64)
 
-                overlap = ray_box_overlap_pairs(
-                    rays.origins[frontier_rays],
-                    rays.directions[frontier_rays],
-                    node_tmin[frontier_rays],
-                    rays.tmax[frontier_rays],
-                    bvh.node_mins[frontier_nodes],
-                    bvh.node_maxs[frontier_nodes],
-                )
+            while frontier_rays.size:
+                fsize = int(frontier_rays.size)
+                counters.traversal_rounds += 1
+                if fsize > counters.max_frontier_size:
+                    counters.max_frontier_size = fsize
+                counters.node_visits += fsize
+                counters.box_tests += fsize
+                counters.node_bytes_read += fsize * node_bytes
+
+                if chunk is None or fsize <= chunk:
+                    overlap = _frontier_box_overlap(
+                        origins_t, directions_t, node_tmin, t_hi,
+                        mins_t, maxs_t, frontier_rays, frontier_nodes,
+                    )
+                else:
+                    overlap = np.empty(fsize, dtype=bool)
+                    for lo_idx in range(0, fsize, chunk):
+                        hi_idx = min(lo_idx + chunk, fsize)
+                        overlap[lo_idx:hi_idx] = _frontier_box_overlap(
+                            origins_t, directions_t, node_tmin, t_hi,
+                            mins_t, maxs_t,
+                            frontier_rays[lo_idx:hi_idx],
+                            frontier_nodes[lo_idx:hi_idx],
+                        )
                 frontier_rays = frontier_rays[overlap]
                 frontier_nodes = frontier_nodes[overlap]
                 if frontier_rays.size == 0:
                     break
 
-                is_leaf = bvh.left[frontier_nodes] < 0
+                is_leaf = left[frontier_nodes] < 0
                 leaf_rays = frontier_rays[is_leaf]
                 leaf_nodes = frontier_nodes[is_leaf]
                 if leaf_rays.size:
                     pair_rays, pair_prims = self._expand_leaf_pairs(leaf_rays, leaf_nodes)
-                    counters.prim_tests += int(pair_prims.size)
-                    counters.prim_bytes_read += int(pair_prims.size) * per_prim_bytes
+                    npairs = int(pair_prims.size)
+                    counters.prim_tests += npairs
+                    counters.prim_bytes_read += npairs * per_prim_bytes
                     if self.primitives.hardware_intersection:
-                        counters.hardware_intersection_tests += int(pair_prims.size)
+                        counters.hardware_intersection_tests += npairs
                     else:
-                        counters.software_intersection_calls += int(pair_prims.size)
-                    mask = self.primitives.intersect_pairs(
-                        rays.origins[pair_rays],
-                        rays.directions[pair_rays],
-                        rays.tmin[pair_rays],
-                        rays.tmax[pair_rays],
-                        pair_prims,
-                    )
-                    hit_rays.append(pair_rays[mask])
-                    hit_prims.append(pair_prims[mask])
+                        counters.software_intersection_calls += npairs
+                    for lo_idx in range(0, npairs, chunk or max(npairs, 1)):
+                        hi_idx = min(lo_idx + (chunk or npairs), npairs)
+                        sub_rays = pair_rays[lo_idx:hi_idx]
+                        sub_prims = pair_prims[lo_idx:hi_idx]
+                        mask = self.primitives.intersect_pairs(
+                            origins[sub_rays],
+                            directions[sub_rays],
+                            prim_lo[sub_rays],
+                            t_hi[sub_rays],
+                            sub_prims,
+                        )
+                        hit_rays.append(sub_rays[mask])
+                        hit_prims.append(sub_prims[mask])
 
                 inner_rays = frontier_rays[~is_leaf]
                 inner_nodes = frontier_nodes[~is_leaf]
-                if inner_rays.size:
-                    frontier_rays = np.concatenate([inner_rays, inner_rays])
-                    frontier_nodes = np.concatenate(
-                        [bvh.left[inner_nodes], bvh.right[inner_nodes]]
-                    )
+                n_inner = int(inner_rays.size)
+                if n_inner:
+                    if child_rays.shape[0] < 2 * n_inner:
+                        child_rays = np.empty(2 * n_inner, dtype=np.int64)
+                        child_nodes = np.empty(2 * n_inner, dtype=np.int64)
+                    next_rays = child_rays[: 2 * n_inner]
+                    next_nodes = child_nodes[: 2 * n_inner]
+                    next_rays[:n_inner] = inner_rays
+                    next_rays[n_inner:] = inner_rays
+                    next_nodes[:n_inner] = left[inner_nodes]
+                    next_nodes[n_inner:] = right[inner_nodes]
+                    frontier_rays = next_rays
+                    frontier_nodes = next_nodes
                 else:
                     frontier_rays = np.zeros(0, dtype=np.int64)
                     frontier_nodes = np.zeros(0, dtype=np.int64)
