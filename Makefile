@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench-smoke bench-strict
+.PHONY: test test-fast bench-smoke bench-strict bench-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,3 +17,8 @@ bench-smoke:
 
 bench-strict:
 	$(PYTHON) benchmarks/perf_smoke.py --strict
+
+# Correctness-only bench pass (equivalence assertions, no timing targets,
+# no artifact writes) — what CI runs.
+bench-check:
+	$(PYTHON) benchmarks/perf_smoke.py --check-only

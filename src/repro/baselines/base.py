@@ -30,6 +30,18 @@ from repro.gpusim.counters import WorkProfile
 MISS_SENTINEL = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
+def expand_slices(start: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flatten per-query slices ``[start[i], start[i] + counts[i])`` into one
+    int64 index array (the batched-gather idiom shared by every sorted-run
+    probe: SA/B+/LSM range scans and the workload reference answers)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.arange(total, dtype=np.int64) - offsets + np.repeat(start, counts)
+
+
 @dataclass
 class MemoryFootprint:
     """Device memory of an index, as the paper reports it in Table 6."""

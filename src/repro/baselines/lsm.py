@@ -20,6 +20,7 @@ from repro.baselines.base import (
     LookupRun,
     MemoryFootprint,
     MISS_SENTINEL,
+    expand_slices,
 )
 from repro.gpusim.counters import WorkProfile
 from repro.gpusim.sorting import DeviceRadixSort
@@ -94,6 +95,9 @@ class GpuLsmTree(GpuIndex):
         aggregate = 0
         search_depth = 0.0
 
+        # Per-level probes are batched over all queries; the matched rowIDs
+        # of every level are collected and aggregated in one final gather.
+        matched_rows: list[np.ndarray] = []
         for level_keys, level_rows in self._levels:
             search_depth += max(math.ceil(math.log2(max(level_keys.shape[0], 2))), 1)
             start = np.searchsorted(level_keys, lowers, side="left")
@@ -103,11 +107,11 @@ class GpuLsmTree(GpuIndex):
             newly_found = nonempty & (result_rows == MISS_SENTINEL)
             result_rows[newly_found] = level_rows[start[newly_found]]
             hits_per_lookup += counts
-            total = int(counts.sum())
-            if total:
-                offsets = np.repeat(np.cumsum(counts) - counts, counts)
-                flat = np.arange(total, dtype=np.int64) - offsets + np.repeat(start, counts)
-                aggregate += self._aggregate(level_rows[flat].astype(np.int64))
+            flat = expand_slices(start, counts)
+            if flat.size:
+                matched_rows.append(level_rows[flat].astype(np.int64))
+        if matched_rows:
+            aggregate = self._aggregate(np.concatenate(matched_rows))
 
         return LookupRun(
             kind=kind,

@@ -20,6 +20,7 @@ from repro.baselines.base import (
     LookupRun,
     MemoryFootprint,
     MISS_SENTINEL,
+    expand_slices,
 )
 from repro.gpusim.counters import WorkProfile
 from repro.gpusim.sorting import DeviceRadixSort
@@ -88,12 +89,9 @@ class SortedArrayIndex(GpuIndex):
         nonempty = counts > 0
         result_rows[nonempty] = self._sorted_rows[start[nonempty]]
 
-        total = int(counts.sum())
-        aggregate = 0
-        if total:
-            offsets = np.repeat(np.cumsum(counts) - counts, counts)
-            flat = np.arange(total, dtype=np.int64) - offsets + np.repeat(start, counts)
-            aggregate = self._aggregate(self._sorted_rows[flat].astype(np.int64))
+        aggregate = self._aggregate(
+            self._sorted_rows[expand_slices(start, counts)].astype(np.int64)
+        )
 
         return LookupRun(
             kind="point",
@@ -124,12 +122,9 @@ class SortedArrayIndex(GpuIndex):
         nonempty = counts > 0
         result_rows[nonempty] = self._sorted_rows[start[nonempty]]
 
-        total = int(counts.sum())
-        aggregate = 0
-        if total:
-            offsets = np.repeat(np.cumsum(counts) - counts, counts)
-            flat = np.arange(total, dtype=np.int64) - offsets + np.repeat(start, counts)
-            aggregate = self._aggregate(self._sorted_rows[flat].astype(np.int64))
+        aggregate = self._aggregate(
+            self._sorted_rows[expand_slices(start, counts)].astype(np.int64)
+        )
 
         return LookupRun(
             kind="range",

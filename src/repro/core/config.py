@@ -124,6 +124,12 @@ class RXConfig:
     max_rays_per_range: int = 64
     #: bytes per entry of the projected value column (used for costing)
     value_bytes: int = 4
+    #: trace mode for point lookups: "any_hit" ends each ray at its first
+    #: hit (the hardware any-hit termination the paper's point-lookup
+    #: numbers rely on), "all" reports every match (required when the key
+    #: column holds duplicates), "auto" picks any_hit exactly when the
+    #: indexed column is duplicate-free.
+    point_trace_mode: str = "auto"
 
     def validate(self) -> None:
         """Reject configurations the hardware (or float32) cannot express."""
@@ -162,6 +168,11 @@ class RXConfig:
             raise ValueError("sphere_radius must lie in (0, 0.5) to keep gaps")
         if self.value_bytes not in (4, 8):
             raise ValueError("value_bytes must be 4 or 8")
+        if self.point_trace_mode not in ("auto", "any_hit", "all"):
+            raise ValueError(
+                "point_trace_mode must be 'auto', 'any_hit' or 'all', "
+                f"got {self.point_trace_mode!r}"
+            )
 
     def with_updates_enabled(self) -> "RXConfig":
         """Copy of this config prepared for refit-style updates."""

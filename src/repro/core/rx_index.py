@@ -105,6 +105,11 @@ class RXIndex(GpuIndex):
         self._accel = None
         self._pipeline: Pipeline | None = None
         self._primitive_handle: int | None = None
+        #: True when the indexed column holds no duplicate keys; decides the
+        #: "auto" point-lookup trace mode (any-hit termination is only
+        #: result-preserving when every query has at most one match).
+        #: Computed lazily — None means "not checked for the current column".
+        self._keys_unique: bool | None = None
 
     # ------------------------------------------------------------------ #
     # build
@@ -224,12 +229,33 @@ class RXIndex(GpuIndex):
             },
         )
 
+    def _store_column(self, keys, values, key_bits: int) -> None:
+        super()._store_column(keys, values, key_bits)
+        self._keys_unique = None  # the uniqueness of the new column is unknown
+
+    def _point_trace_mode(self) -> str:
+        """Resolve the configured point-lookup trace mode for this column.
+
+        The duplicate check costs one key sort, so it runs lazily on the
+        first "auto" point lookup after a (re)build and is skipped entirely
+        when the mode is forced.
+        """
+        mode = self.config.point_trace_mode
+        if mode != "auto":
+            return mode
+        if self._keys_unique is None:
+            self._keys_unique = bool(np.unique(self.keys).size == self.num_keys)
+        return "any_hit" if self._keys_unique else "all"
+
     def point_lookup(self, queries: np.ndarray) -> LookupRun:
         pipeline = self._require_built()
         queries = np.asarray(queries, dtype=np.uint64)
         rays = self.codec.point_ray_batch(queries, self.config.point_ray_mode)
-        launch = pipeline.launch(rays, num_lookups=queries.shape[0])
-        return self._run_to_lookup(launch, queries.shape[0], kind="point")
+        mode = self._point_trace_mode()
+        launch = pipeline.launch(rays, num_lookups=queries.shape[0], mode=mode)
+        run = self._run_to_lookup(launch, queries.shape[0], kind="point")
+        run.stats["trace_mode"] = mode
+        return run
 
     def range_lookup(self, lowers: np.ndarray, uppers: np.ndarray) -> LookupRun:
         pipeline = self._require_built()

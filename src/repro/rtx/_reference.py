@@ -227,6 +227,102 @@ class _ReferenceSahSplitter:
 
 
 # --------------------------------------------------------------------------- #
+# reference primitive intersection (row gathers + per-call edge recompute)
+# --------------------------------------------------------------------------- #
+
+
+def _cross_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise 3D cross product of the pre-SoA intersection hot path."""
+    out = np.empty_like(a)
+    out[:, 0] = a[:, 1] * b[:, 2] - a[:, 2] * b[:, 1]
+    out[:, 1] = a[:, 2] * b[:, 0] - a[:, 0] * b[:, 2]
+    out[:, 2] = a[:, 0] * b[:, 1] - a[:, 1] * b[:, 0]
+    return out
+
+
+def reference_triangle_intersect_pairs(
+    vertices64: np.ndarray, origins, directions, tmins, tmaxs, prim_indices
+) -> np.ndarray:
+    """The seed ``TriangleBuffer.intersect_pairs``: an ``(m, 3, 3)`` row
+    gather from the cached float64 vertex array plus per-call edge
+    recomputation.  ``vertices64`` is the pre-converted ``(n, 3, 3)`` float64
+    vertex array (the seed cached that conversion too, so building it is not
+    part of the per-call cost)."""
+    prim_indices = np.asarray(prim_indices, dtype=np.int64)
+    if prim_indices.size == 0:
+        return np.zeros(0, dtype=bool)
+    tri = vertices64[prim_indices]
+    o = np.asarray(origins, dtype=np.float64)
+    d = np.asarray(directions, dtype=np.float64)
+    tmins = np.asarray(tmins, dtype=np.float64)
+    tmaxs = np.asarray(tmaxs, dtype=np.float64)
+    v0 = tri[:, 0]
+    e1 = tri[:, 1] - v0
+    e2 = tri[:, 2] - v0
+    pvec = _cross_rows(d, e2)
+    det = np.einsum("ij,ij->i", e1, pvec)
+    eps = 1e-12
+    parallel = np.abs(det) < eps
+    safe_det = np.where(parallel, 1.0, det)
+    inv_det = 1.0 / safe_det
+    tvec = o - v0
+    u = np.einsum("ij,ij->i", tvec, pvec) * inv_det
+    qvec = _cross_rows(tvec, e1)
+    v = np.einsum("ij,ij->i", d, qvec) * inv_det
+    t = np.einsum("ij,ij->i", e2, qvec) * inv_det
+    return (
+        ~parallel
+        & (u >= -1e-9)
+        & (v >= -1e-9)
+        & (u + v <= 1.0 + 1e-9)
+        & (t > tmins)
+        & (t < tmaxs)
+    )
+
+
+def reference_sphere_intersect_pairs(
+    centers: np.ndarray, radius, origins, directions, tmins, tmaxs, prim_indices
+) -> np.ndarray:
+    """The seed ``SphereBuffer.intersect_pairs``: per-call row gather of the
+    float32 centres followed by a float64 conversion."""
+    prim_indices = np.asarray(prim_indices, dtype=np.int64)
+    if prim_indices.size == 0:
+        return np.zeros(0, dtype=bool)
+    c = centers[prim_indices].astype(np.float64)
+    o = np.asarray(origins, dtype=np.float64)
+    d = np.asarray(directions, dtype=np.float64)
+    tmins = np.asarray(tmins, dtype=np.float64)
+    tmaxs = np.asarray(tmaxs, dtype=np.float64)
+    r = float(radius)
+    oc = o - c
+    a = np.einsum("ij,ij->i", d, d)
+    b = 2.0 * np.einsum("ij,ij->i", oc, d)
+    cterm = np.einsum("ij,ij->i", oc, oc) - r * r
+    disc = b * b - 4.0 * a * cterm
+    valid = (disc >= 0.0) & (a > 0.0)
+    sqrt_disc = np.sqrt(np.where(valid, disc, 0.0))
+    safe_a = np.where(a > 0.0, a, 1.0)
+    t0 = (-b - sqrt_disc) / (2.0 * safe_a)
+    t1 = (-b + sqrt_disc) / (2.0 * safe_a)
+    hit0 = valid & (t0 > tmins) & (t0 < tmaxs)
+    hit1 = valid & (t1 > tmins) & (t1 < tmaxs)
+    return hit0 | hit1
+
+
+def reference_aabb_intersect_pairs(
+    box_mins: np.ndarray, box_maxs: np.ndarray, origins, directions, tmins, tmaxs, prim_indices
+) -> np.ndarray:
+    """The seed ``AabbBuffer.intersect_pairs``: per-call row gathers of both
+    float32 corners followed by the generic slab test."""
+    prim_indices = np.asarray(prim_indices, dtype=np.int64)
+    if prim_indices.size == 0:
+        return np.zeros(0, dtype=bool)
+    mins = box_mins[prim_indices].astype(np.float64)
+    maxs = box_maxs[prim_indices].astype(np.float64)
+    return ray_box_overlap_pairs(origins, directions, tmins, tmaxs, mins, maxs)
+
+
+# --------------------------------------------------------------------------- #
 # reference traversal (per-round re-gather + re-divide)
 # --------------------------------------------------------------------------- #
 

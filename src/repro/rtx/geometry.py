@@ -23,6 +23,12 @@ FLOAT_BYTES = 4
 #: Sentinel used in hit records when a ray does not intersect anything.
 NO_HIT = np.uint32(0xFFFFFFFF)
 
+#: Per-pair intersection tests are evaluated in blocks of this many pairs so
+#: the dozens of pair-sized float64 temporaries stay cache-resident.  A pure
+#: execution-schedule knob: the tests are elementwise, so the masks are
+#: bit-identical for any block size.
+PAIR_BLOCK = 1 << 15
+
 
 @dataclass
 class RayBatch:
@@ -152,23 +158,38 @@ class PrimitiveBuffer:
 
         All arguments are arrays of the same length ``m``; returns a boolean
         mask of length ``m``.  This is the work-horse of the wavefront
-        traversal in :mod:`repro.rtx.traversal`.
+        traversal in :mod:`repro.rtx.traversal`.  Large pair streams are
+        evaluated in :data:`PAIR_BLOCK`-sized blocks (see there).
         """
+        prim_indices = np.asarray(prim_indices, dtype=np.int64)
+        m = prim_indices.shape[0]
+        if m == 0:
+            return np.zeros(0, dtype=bool)
+        if m <= PAIR_BLOCK:
+            return self._intersect_pairs_block(
+                origins, directions, tmins, tmaxs, prim_indices
+            )
+        origins = np.asarray(origins)
+        directions = np.asarray(directions)
+        tmins = np.asarray(tmins)
+        tmaxs = np.asarray(tmaxs)
+        out = np.empty(m, dtype=bool)
+        for lo in range(0, m, PAIR_BLOCK):
+            hi = min(lo + PAIR_BLOCK, m)
+            out[lo:hi] = self._intersect_pairs_block(
+                origins[lo:hi],
+                directions[lo:hi],
+                tmins[lo:hi],
+                tmaxs[lo:hi],
+                prim_indices[lo:hi],
+            )
+        return out
+
+    def _intersect_pairs_block(
+        self, origins, directions, tmins, tmaxs, prim_indices
+    ) -> np.ndarray:
+        """One block of element-wise pair tests (``prim_indices`` already int64)."""
         raise NotImplementedError
-
-
-def _cross_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Row-wise 3D cross product.
-
-    Same component expressions (and therefore bit-identical results) as
-    ``np.cross`` on ``(m, 3)`` inputs, without its axis-shuffling overhead —
-    this sits on the per-pair intersection hot path.
-    """
-    out = np.empty_like(a)
-    out[:, 0] = a[:, 1] * b[:, 2] - a[:, 2] * b[:, 1]
-    out[:, 1] = a[:, 2] * b[:, 0] - a[:, 0] * b[:, 2]
-    out[:, 2] = a[:, 0] * b[:, 1] - a[:, 1] * b[:, 0]
-    return out
 
 
 class TriangleBuffer(PrimitiveBuffer):
@@ -182,21 +203,33 @@ class TriangleBuffer(PrimitiveBuffer):
         if vertices.ndim != 3 or vertices.shape[1:] != (3, 3):
             raise ValueError("triangle vertices must have shape (n, 3, 3)")
         self.vertices = vertices
-        self._vertices64: np.ndarray | None = None
+        self._pack: tuple[np.ndarray, ...] | None = None
 
-    def _vertices_f64(self) -> np.ndarray:
-        """Float64 copy of the vertices, converted once and cached.
+    def intersection_pack(self) -> tuple[np.ndarray, ...]:
+        """SoA intersection data: nine contiguous ``(n,)`` float64 arrays.
 
-        Gather-then-convert and convert-then-gather commute elementwise, so
-        intersection results are unchanged; the cache just keeps the
-        conversion off the per-trace-round hot path.  It is invalidated by
-        :meth:`compute_aabbs`, which every build/refit path calls, so
-        callers that move primitives in place and rebuild or refit never
-        intersect against stale geometry.
+        ``(v0x, v0y, v0z, e1x, e1y, e1z, e2x, e2y, e2z)`` — the base vertex
+        and the two precomputed edge vectors of every triangle, one array per
+        component.  Computed once and cached so :meth:`intersect_pairs` is
+        pure 1D gathers plus fused arithmetic: no ``(m, 3, 3)`` row gather
+        and no per-call edge recomputation.  Gather-then-subtract and
+        subtract-then-gather commute elementwise, so intersection results
+        are bit-identical to the per-call formulation.  The cache is
+        invalidated by :meth:`compute_aabbs`, which every build/refit path
+        calls, so callers that move primitives in place and rebuild or refit
+        never intersect against stale geometry.
         """
-        if self._vertices64 is None:
-            self._vertices64 = self.vertices.astype(np.float64)
-        return self._vertices64
+        if self._pack is None:
+            v64 = self.vertices.astype(np.float64)
+            v0 = v64[:, 0]
+            e1 = v64[:, 1] - v0
+            e2 = v64[:, 2] - v0
+            self._pack = tuple(
+                np.ascontiguousarray(arr[:, axis])
+                for arr in (v0, e1, e2)
+                for axis in range(3)
+            )
+        return self._pack
 
     def __len__(self) -> int:
         return int(self.vertices.shape[0])
@@ -207,38 +240,51 @@ class TriangleBuffer(PrimitiveBuffer):
 
     def compute_aabbs(self) -> tuple[np.ndarray, np.ndarray]:
         # Bounds are recomputed exactly when the vertices may have moved
-        # (accel build or refit), so drop the cached float64 conversion.
-        self._vertices64 = None
+        # (accel build or refit), so drop the cached intersection pack.
+        self._pack = None
         mins = self.vertices.min(axis=1)
         maxs = self.vertices.max(axis=1)
         return mins, maxs
 
-    def intersect_pairs(
+    def _intersect_pairs_block(
         self, origins, directions, tmins, tmaxs, prim_indices
     ) -> np.ndarray:
-        """Möller–Trumbore ray/triangle test, element-wise over (ray, triangle) pairs."""
-        prim_indices = np.asarray(prim_indices, dtype=np.int64)
-        if prim_indices.size == 0:
-            return np.zeros(0, dtype=bool)
-        tri = self._vertices_f64()[prim_indices]
+        """Möller–Trumbore ray/triangle test, element-wise over (ray, triangle) pairs.
+
+        Same component expressions as the classic per-call formulation (kept
+        as ``reference_triangle_intersect_pairs`` in
+        :mod:`repro.rtx._reference`), evaluated on the precomputed SoA pack —
+        masks are bit-identical.
+        """
+        v0x, v0y, v0z, e1x, e1y, e1z, e2x, e2y, e2z = self.intersection_pack()
         o = np.asarray(origins, dtype=np.float64)
         d = np.asarray(directions, dtype=np.float64)
         tmins = np.asarray(tmins, dtype=np.float64)
         tmaxs = np.asarray(tmaxs, dtype=np.float64)
-        v0 = tri[:, 0]
-        e1 = tri[:, 1] - v0
-        e2 = tri[:, 2] - v0
-        pvec = _cross_rows(d, e2)
-        det = np.einsum("ij,ij->i", e1, pvec)
+        g = prim_indices
+        ox, oy, oz = o[:, 0], o[:, 1], o[:, 2]
+        dx, dy, dz = d[:, 0], d[:, 1], d[:, 2]
+        e1xg, e1yg, e1zg = e1x[g], e1y[g], e1z[g]
+        e2xg, e2yg, e2zg = e2x[g], e2y[g], e2z[g]
+        # pvec = d × e2
+        px = dy * e2zg - dz * e2yg
+        py = dz * e2xg - dx * e2zg
+        pz = dx * e2yg - dy * e2xg
+        det = e1xg * px + e1yg * py + e1zg * pz
         eps = 1e-12
         parallel = np.abs(det) < eps
         safe_det = np.where(parallel, 1.0, det)
         inv_det = 1.0 / safe_det
-        tvec = o - v0
-        u = np.einsum("ij,ij->i", tvec, pvec) * inv_det
-        qvec = _cross_rows(tvec, e1)
-        v = np.einsum("ij,ij->i", d, qvec) * inv_det
-        t = np.einsum("ij,ij->i", e2, qvec) * inv_det
+        tvx = ox - v0x[g]
+        tvy = oy - v0y[g]
+        tvz = oz - v0z[g]
+        u = (tvx * px + tvy * py + tvz * pz) * inv_det
+        # qvec = tvec × e1
+        qx = tvy * e1zg - tvz * e1yg
+        qy = tvz * e1xg - tvx * e1zg
+        qz = tvx * e1yg - tvy * e1xg
+        v = (dx * qx + dy * qy + dz * qz) * inv_det
+        t = (e2xg * qx + e2yg * qy + e2zg * qz) * inv_det
         return (
             ~parallel
             & (u >= -1e-9)
@@ -267,6 +313,21 @@ class SphereBuffer(PrimitiveBuffer):
             raise ValueError("sphere radius must be positive")
         self.centers = centers
         self.radius = np.float32(radius)
+        self._pack: tuple[np.ndarray, ...] | None = None
+
+    def intersection_pack(self) -> tuple[np.ndarray, ...]:
+        """SoA intersection data: ``(cx, cy, cz)`` contiguous float64 arrays.
+
+        Convert-then-gather commutes with the per-call gather-then-convert,
+        so intersection results are bit-identical.  Invalidated by
+        :meth:`compute_aabbs` exactly like the triangle pack.
+        """
+        if self._pack is None:
+            c64 = self.centers.astype(np.float64)
+            self._pack = tuple(
+                np.ascontiguousarray(c64[:, axis]) for axis in range(3)
+            )
+        return self._pack
 
     def __len__(self) -> int:
         return int(self.centers.shape[0])
@@ -276,26 +337,28 @@ class SphereBuffer(PrimitiveBuffer):
         return len(self) * 3 * FLOAT_BYTES + FLOAT_BYTES
 
     def compute_aabbs(self) -> tuple[np.ndarray, np.ndarray]:
+        self._pack = None
         r = np.float32(self.radius)
         return self.centers - r, self.centers + r
 
-    def intersect_pairs(
+    def _intersect_pairs_block(
         self, origins, directions, tmins, tmaxs, prim_indices
     ) -> np.ndarray:
         """Analytic ray/sphere test; a hit is an entry or exit of the volume."""
-        prim_indices = np.asarray(prim_indices, dtype=np.int64)
-        if prim_indices.size == 0:
-            return np.zeros(0, dtype=bool)
-        c = self.centers[prim_indices].astype(np.float64)
+        cx, cy, cz = self.intersection_pack()
         o = np.asarray(origins, dtype=np.float64)
         d = np.asarray(directions, dtype=np.float64)
         tmins = np.asarray(tmins, dtype=np.float64)
         tmaxs = np.asarray(tmaxs, dtype=np.float64)
+        g = prim_indices
         r = float(self.radius)
-        oc = o - c
-        a = np.einsum("ij,ij->i", d, d)
-        b = 2.0 * np.einsum("ij,ij->i", oc, d)
-        cterm = np.einsum("ij,ij->i", oc, oc) - r * r
+        ocx = o[:, 0] - cx[g]
+        ocy = o[:, 1] - cy[g]
+        ocz = o[:, 2] - cz[g]
+        dx, dy, dz = d[:, 0], d[:, 1], d[:, 2]
+        a = dx * dx + dy * dy + dz * dz
+        b = 2.0 * (ocx * dx + ocy * dy + ocz * dz)
+        cterm = (ocx * ocx + ocy * ocy + ocz * ocz) - r * r
         disc = b * b - 4.0 * a * cterm
         valid = (disc >= 0.0) & (a > 0.0)
         sqrt_disc = np.sqrt(np.where(valid, disc, 0.0))
@@ -328,6 +391,24 @@ class AabbBuffer(PrimitiveBuffer):
             raise ValueError("AABB max corner must not be below min corner")
         self.mins = mins
         self.maxs = maxs
+        self._pack: tuple[np.ndarray, ...] | None = None
+
+    def intersection_pack(self) -> tuple[np.ndarray, ...]:
+        """SoA intersection data: six contiguous ``(n,)`` float64 arrays.
+
+        ``(min_x, min_y, min_z, max_x, max_y, max_z)`` — the transposed box
+        corners, converted to float64 once.  Invalidated by
+        :meth:`compute_aabbs` exactly like the triangle pack.
+        """
+        if self._pack is None:
+            mins64 = self.mins.astype(np.float64)
+            maxs64 = self.maxs.astype(np.float64)
+            self._pack = tuple(
+                np.ascontiguousarray(arr[:, axis])
+                for arr in (mins64, maxs64)
+                for axis in range(3)
+            )
+        return self._pack
 
     def __len__(self) -> int:
         return int(self.mins.shape[0])
@@ -337,17 +418,51 @@ class AabbBuffer(PrimitiveBuffer):
         return len(self) * 6 * FLOAT_BYTES
 
     def compute_aabbs(self) -> tuple[np.ndarray, np.ndarray]:
+        self._pack = None
         return self.mins.copy(), self.maxs.copy()
 
-    def intersect_pairs(
+    def _intersect_pairs_block(
         self, origins, directions, tmins, tmaxs, prim_indices
     ) -> np.ndarray:
-        prim_indices = np.asarray(prim_indices, dtype=np.int64)
-        if prim_indices.size == 0:
-            return np.zeros(0, dtype=bool)
-        mins = self.mins[prim_indices].astype(np.float64)
-        maxs = self.maxs[prim_indices].astype(np.float64)
-        return ray_box_overlap_pairs(origins, directions, tmins, tmaxs, mins, maxs)
+        """Slab test on the SoA pack: per-axis box corners are gathered with
+        contiguous 1D takes and fed through the same :func:`_slab_test_axis`
+        core as :func:`ray_box_overlap_pairs`, so masks are bit-identical."""
+        pack = self.intersection_pack()
+        o = np.asarray(origins, dtype=np.float64)
+        d = np.asarray(directions, dtype=np.float64)
+        lo = np.asarray(tmins, dtype=np.float64).copy()
+        hi = np.asarray(tmaxs, dtype=np.float64).copy()
+        g = prim_indices
+        ok = np.ones(g.shape[0], dtype=bool)
+        for axis in range(3):
+            lo, hi, ok = _slab_test_axis(
+                d[:, axis], o[:, axis], pack[axis][g], pack[axis + 3][g], lo, hi, ok
+            )
+        return ok & (lo <= hi)
+
+
+def _slab_test_axis(da, oa, bmin, bmax, lo, hi, ok):
+    """One axis of the element-wise slab test; returns updated (lo, hi, ok).
+
+    The single home of the per-axis slab expressions (parallel epsilon,
+    inf-blend, inside-slab rule): :func:`ray_box_overlap_pairs` and
+    :meth:`AabbBuffer._intersect_pairs_block` both call it, and
+    ``_frontier_box_overlap`` in :mod:`repro.rtx.traversal` specialises the
+    same expressions per frontier — masks must stay bit-identical across all
+    three.  Rays parallel to the slab hit only when the origin lies inside
+    it.
+    """
+    parallel = np.abs(da) < 1e-300
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv = np.where(parallel, np.inf, 1.0 / np.where(parallel, 1.0, da))
+        t0 = (bmin - oa) * inv
+        t1 = (bmax - oa) * inv
+    near = np.minimum(t0, t1)
+    far = np.maximum(t0, t1)
+    lo = np.where(parallel, lo, np.maximum(lo, near))
+    hi = np.where(parallel, hi, np.minimum(hi, far))
+    ok &= np.where(parallel, (oa >= bmin) & (oa <= bmax), True)
+    return lo, hi, ok
 
 
 def ray_box_overlap_pairs(
@@ -356,9 +471,8 @@ def ray_box_overlap_pairs(
     """Element-wise slab test: does ray ``i`` overlap box ``i``?
 
     All arguments are arrays over the same pair index; returns a boolean mask.
-    The test is performed in float64 for numerical robustness and treats
-    rays that are parallel to a slab as hitting only when the origin lies
-    inside that slab.
+    The test is performed in float64 for numerical robustness (see
+    :func:`_slab_test_axis` for the per-axis rules).
     """
     o = np.asarray(origins, dtype=np.float64).reshape(-1, 3)
     d = np.asarray(directions, dtype=np.float64).reshape(-1, 3)
@@ -368,19 +482,8 @@ def ray_box_overlap_pairs(
     hi = np.asarray(tmaxs, dtype=np.float64).copy()
     ok = np.ones(o.shape[0], dtype=bool)
     for axis in range(3):
-        da = d[:, axis]
-        oa = o[:, axis]
-        parallel = np.abs(da) < 1e-300
-        with np.errstate(divide="ignore", invalid="ignore"):
-            inv = np.where(parallel, np.inf, 1.0 / np.where(parallel, 1.0, da))
-            t0 = (mins[:, axis] - oa) * inv
-            t1 = (maxs[:, axis] - oa) * inv
-        near = np.minimum(t0, t1)
-        far = np.maximum(t0, t1)
-        lo = np.where(parallel, lo, np.maximum(lo, near))
-        hi = np.where(parallel, hi, np.minimum(hi, far))
-        ok &= np.where(
-            parallel, (oa >= mins[:, axis]) & (oa <= maxs[:, axis]), True
+        lo, hi, ok = _slab_test_axis(
+            d[:, axis], o[:, axis], mins[:, axis], maxs[:, axis], lo, hi, ok
         )
     return ok & (lo <= hi)
 

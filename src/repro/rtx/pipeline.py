@@ -229,11 +229,21 @@ class Pipeline:
             max_frontier=self.max_frontier,
         )
 
-    def launch(self, rays: RayBatch | None = None, num_lookups: int | None = None, **raygen_params) -> LaunchResult:
+    def launch(
+        self,
+        rays: RayBatch | None = None,
+        num_lookups: int | None = None,
+        mode: str = "all",
+        **raygen_params,
+    ) -> LaunchResult:
         """Launch the pipeline for a batch of rays.
 
         Either pass a prepared :class:`RayBatch`, or rely on the pipeline's
         ray-generation program by passing its parameters as keyword arguments.
+        ``mode`` selects the trace semantics (see
+        :meth:`repro.rtx.traversal.TraversalEngine.trace`): ``"all"`` reports
+        every intersection, ``"any_hit"`` terminates each ray at its first
+        surviving hit.
         """
         if rays is None:
             if self.raygen is None:
@@ -242,7 +252,7 @@ class Pipeline:
         if num_lookups is None:
             num_lookups = int(rays.lookup_ids.max()) + 1 if len(rays) else 0
         self._engine.reset_counters()
-        hits = self._engine.trace(rays, any_hit=self.any_hit)
+        hits = self._engine.trace(rays, any_hit=self.any_hit, mode=mode)
         counters = self._engine.counters
         return LaunchResult(
             hits=hits,

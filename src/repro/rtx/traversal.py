@@ -17,6 +17,12 @@ behaviour — hit records and every counter (including ``traversal_rounds``
 and ``max_frontier_size``, which count the *logical* frontier) are
 bit-identical with the reference loop in :mod:`repro.rtx._reference` for any
 ``max_frontier`` setting.
+
+``trace`` supports two reporting modes: the default reports every
+intersection of every ray, while ``mode="any_hit"`` models the hardware
+any-hit program terminating the ray — each ray records exactly its first
+surviving hit and is compacted out of the frontier between rounds, with the
+counters reflecting only the work actually executed.
 """
 
 from __future__ import annotations
@@ -215,14 +221,32 @@ class TraversalEngine:
     def reset_counters(self) -> None:
         self.counters = TraversalCounters()
 
-    def trace(self, rays: RayBatch, any_hit=None) -> HitRecords:
-        """Trace all rays and return every (ray, primitive) intersection.
+    def trace(self, rays: RayBatch, any_hit=None, mode: str = "all") -> HitRecords:
+        """Trace all rays and return their (ray, primitive) intersections.
 
         ``any_hit`` optionally mimics the OptiX any-hit program: it receives
         ``(ray_indices, prim_indices, lookup_ids)`` and returns a boolean mask
         selecting the hits to keep (e.g. software filtering for AABB
         primitives).
+
+        ``mode`` selects the reporting semantics:
+
+        * ``"all"`` (default) — report every intersection of every ray; the
+          ``any_hit`` filter is applied once to the accumulated hit list.
+        * ``"any_hit"`` — early-exit traversal: each ray terminates at its
+          first hit that survives the ``any_hit`` filter and reports exactly
+          that one hit.  Rays that have recorded a hit are compacted out of
+          the frontier between rounds, so the counters reflect only the
+          traversal work actually executed (on RT hardware the any-hit
+          program ends the ray the same way).  The reported hit per ray
+          equals the first surviving hit the default mode would report for
+          it.  The filter is applied eagerly per leaf chunk in this mode, so
+          it must be elementwise (decide each hit on its own), exactly like
+          a real any-hit program.
         """
+        if mode not in ("all", "any_hit"):
+            raise ValueError(f"unknown trace mode {mode!r}; use 'all' or 'any_hit'")
+        early_exit = mode == "any_hit"
         counters = TraversalCounters()
         counters.rays = len(rays)
         bvh = self.bvh
@@ -236,6 +260,7 @@ class TraversalEngine:
         n_rays = len(rays)
         hit_rays: list[np.ndarray] = []
         hit_prims: list[np.ndarray] = []
+        ray_done = np.zeros(n_rays, dtype=bool) if early_exit else None
 
         if n_rays > 0 and bvh.node_count > 0:
             if self.node_cull_respects_tmin:
@@ -298,6 +323,7 @@ class TraversalEngine:
                 is_leaf = left[frontier_nodes] < 0
                 leaf_rays = frontier_rays[is_leaf]
                 leaf_nodes = frontier_nodes[is_leaf]
+                terminated_this_round = False
                 if leaf_rays.size:
                     pair_rays, pair_prims = self._expand_leaf_pairs(leaf_rays, leaf_nodes)
                     npairs = int(pair_prims.size)
@@ -307,8 +333,11 @@ class TraversalEngine:
                         counters.hardware_intersection_tests += npairs
                     else:
                         counters.software_intersection_calls += npairs
-                    for lo_idx in range(0, npairs, chunk or max(npairs, 1)):
-                        hi_idx = min(lo_idx + (chunk or npairs), npairs)
+                    # Chunk the pair stream with the same bound as the slab
+                    # test; no bound (chunk None or 0) means one full chunk.
+                    pair_chunk = chunk if chunk else npairs
+                    for lo_idx in range(0, npairs, max(pair_chunk, 1)):
+                        hi_idx = min(lo_idx + pair_chunk, npairs)
                         sub_rays = pair_rays[lo_idx:hi_idx]
                         sub_prims = pair_prims[lo_idx:hi_idx]
                         mask = self.primitives.intersect_pairs(
@@ -318,8 +347,38 @@ class TraversalEngine:
                             t_hi[sub_rays],
                             sub_prims,
                         )
-                        hit_rays.append(sub_rays[mask])
-                        hit_prims.append(sub_prims[mask])
+                        sub_hit_rays = sub_rays[mask]
+                        sub_hit_prims = sub_prims[mask]
+                        if early_exit:
+                            # Run the any-hit program on each intersection as
+                            # it is found; only surviving hits end their ray.
+                            if any_hit is not None and sub_hit_rays.size:
+                                keep = np.asarray(
+                                    any_hit(
+                                        sub_hit_rays,
+                                        sub_hit_prims,
+                                        rays.lookup_ids[sub_hit_rays],
+                                    ),
+                                    dtype=bool,
+                                )
+                                sub_hit_rays = sub_hit_rays[keep]
+                                sub_hit_prims = sub_hit_prims[keep]
+                            if sub_hit_rays.size:
+                                fresh = ~ray_done[sub_hit_rays]
+                                sub_hit_rays = sub_hit_rays[fresh]
+                                sub_hit_prims = sub_hit_prims[fresh]
+                            if sub_hit_rays.size:
+                                # First surviving hit per ray, in pair order.
+                                _, first_idx = np.unique(
+                                    sub_hit_rays, return_index=True
+                                )
+                                first_idx.sort()
+                                sub_hit_rays = sub_hit_rays[first_idx]
+                                sub_hit_prims = sub_hit_prims[first_idx]
+                                ray_done[sub_hit_rays] = True
+                                terminated_this_round = True
+                        hit_rays.append(sub_hit_rays)
+                        hit_prims.append(sub_hit_prims)
 
                 inner_rays = frontier_rays[~is_leaf]
                 inner_nodes = frontier_nodes[~is_leaf]
@@ -340,6 +399,17 @@ class TraversalEngine:
                     frontier_rays = np.zeros(0, dtype=np.int64)
                     frontier_nodes = np.zeros(0, dtype=np.int64)
 
+                if early_exit and terminated_this_round and frontier_rays.size:
+                    # Terminated rays drop out of the frontier between rounds,
+                    # exactly like hardware ending a ray from the any-hit
+                    # program; the next round's counters only see survivors.
+                    # (Earlier terminations were compacted in their own round,
+                    # so the gather only runs when a ray died this round.)
+                    alive = ~ray_done[frontier_rays]
+                    if not alive.all():
+                        frontier_rays = frontier_rays[alive]
+                        frontier_nodes = frontier_nodes[alive]
+
         if hit_rays:
             ray_indices = np.concatenate(hit_rays)
             prim_indices = np.concatenate(hit_prims)
@@ -348,7 +418,7 @@ class TraversalEngine:
             prim_indices = np.zeros(0, dtype=np.int64)
 
         lookup_ids = rays.lookup_ids[ray_indices] if ray_indices.size else ray_indices
-        if any_hit is not None and ray_indices.size:
+        if not early_exit and any_hit is not None and ray_indices.size:
             keep = np.asarray(any_hit(ray_indices, prim_indices, lookup_ids), dtype=bool)
             ray_indices = ray_indices[keep]
             prim_indices = prim_indices[keep]

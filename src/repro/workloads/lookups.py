@@ -47,7 +47,7 @@ def miss_keys(
     """
     rng = _rng(seed)
     keys = np.asarray(keys, dtype=np.uint64)
-    present = set(int(k) for k in np.unique(keys))
+    present = np.unique(keys)
     if outside_domain:
         start = int(keys.max()) + 1
         return (np.arange(num_misses, dtype=np.uint64) + np.uint64(start)).astype(np.uint64)
@@ -56,7 +56,13 @@ def miss_keys(
     filled = 0
     while filled < num_misses:
         draw = rng.integers(0, high, size=(num_misses - filled) * 2 + 16, dtype=np.uint64, endpoint=True)
-        fresh = np.array([d for d in draw if int(d) not in present], dtype=np.uint64)
+        if present.size:
+            # Batched membership test against the sorted key set: a draw is
+            # present exactly when the key at its insertion point equals it.
+            pos = np.minimum(np.searchsorted(present, draw), present.shape[0] - 1)
+            fresh = draw[present[pos] != draw]
+        else:
+            fresh = draw
         take = min(fresh.shape[0], num_misses - filled)
         out[filled : filled + take] = fresh[:take]
         filled += take

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.baselines.base import MISS_SENTINEL
+from repro.baselines.base import MISS_SENTINEL, expand_slices
 
 
 @dataclass
@@ -84,12 +84,9 @@ class SecondaryIndexWorkload:
         sorted_values = self.values[order]
         start = np.searchsorted(sorted_keys, self.point_queries, side="left")
         stop = np.searchsorted(sorted_keys, self.point_queries, side="right")
-        counts = (stop - start).astype(np.int64)
-        total = int(counts.sum())
-        if total == 0:
+        flat = expand_slices(start, stop - start)
+        if flat.size == 0:
             return 0
-        offsets = np.repeat(np.cumsum(counts) - counts, counts)
-        flat = np.arange(total, dtype=np.int64) - offsets + np.repeat(start, counts)
         return int(sorted_values[flat].sum(dtype=np.uint64))
 
     def reference_point_hits(self) -> np.ndarray:
@@ -123,12 +120,9 @@ class SecondaryIndexWorkload:
         sorted_values = self.values[order]
         start = np.searchsorted(sorted_keys, self.range_lowers, side="left")
         stop = np.searchsorted(sorted_keys, self.range_uppers, side="right")
-        counts = (stop - start).astype(np.int64)
-        total = int(counts.sum())
-        if total == 0:
+        flat = expand_slices(start, stop - start)
+        if flat.size == 0:
             return 0
-        offsets = np.repeat(np.cumsum(counts) - counts, counts)
-        flat = np.arange(total, dtype=np.int64) - offsets + np.repeat(start, counts)
         return int(sorted_values[flat].sum(dtype=np.uint64))
 
     def reference_range_hits(self) -> np.ndarray:

@@ -124,6 +124,29 @@ class TestHashTableSpecifics:
 
 
 class TestBPlusTreeSpecifics:
+    @pytest.mark.parametrize("n", [5, 16, 17, 255, 1024, 5000])
+    def test_descend_matches_leaf_searchsorted(self, n):
+        """The batched level-by-level descent is pinned to a plain
+        searchsorted on the leaf level (the two are equivalent for the
+        implicit bulk-loaded tree)."""
+        rng = np.random.default_rng(n)
+        keys = np.unique(rng.integers(0, 2**32 - 1, size=2 * n).astype(np.uint64))[:n]
+        tree = GpuBPlusTree()
+        tree.build(keys)
+        queries = np.concatenate(
+            [
+                keys[rng.integers(0, keys.shape[0], size=200)],
+                rng.integers(0, 2**32 - 1, size=200).astype(np.uint64),
+                # Domain edges, including the maximum uint64: a query equal
+                # to the window padding value must not miscount separators.
+                np.array([0, 2**32 - 1, 2**64 - 1], dtype=np.uint64),
+            ]
+        )
+        assert np.array_equal(
+            tree._descend(queries),
+            np.searchsorted(tree._sorted_keys, queries, side="left"),
+        )
+
     def test_duplicates_rejected(self):
         with pytest.raises(ValueError):
             GpuBPlusTree().build(np.array([1, 1], dtype=np.uint64))

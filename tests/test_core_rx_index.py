@@ -114,6 +114,78 @@ class TestPointLookups:
         assert run.aggregate == workload.reference_point_aggregate()
 
 
+class TestPointTraceMode:
+    def test_auto_uses_any_hit_on_unique_keys(self, small_workload):
+        index = RXIndex()
+        index.build(small_workload.keys, small_workload.values)
+        run = index.point_lookup(small_workload.point_queries)
+        assert run.stats["trace_mode"] == "any_hit"
+        assert run.aggregate == small_workload.reference_point_aggregate()
+        assert np.array_equal(run.hits_per_lookup, small_workload.reference_point_hits())
+
+    def test_auto_falls_back_on_duplicate_keys(self):
+        keys = np.array([7, 7, 7, 9, 12], dtype=np.uint64)
+        index = RXIndex()
+        index.build(keys)
+        run = index.point_lookup(np.array([7, 9], dtype=np.uint64))
+        assert run.stats["trace_mode"] == "all"
+        assert run.hits_per_lookup.tolist() == [3, 1]
+
+    def test_forced_any_hit_matches_all_mode_on_unique_keys(self, small_workload):
+        forced = RXIndex(RXConfig(point_trace_mode="any_hit"))
+        forced.build(small_workload.keys, small_workload.values)
+        run_any = forced.point_lookup(small_workload.point_queries)
+        full = RXIndex(RXConfig(point_trace_mode="all"))
+        full.build(small_workload.keys, small_workload.values)
+        run_all = full.point_lookup(small_workload.point_queries)
+        assert np.array_equal(run_any.result_rows, run_all.result_rows)
+        assert np.array_equal(run_any.hits_per_lookup, run_all.hits_per_lookup)
+        assert run_any.aggregate == run_all.aggregate
+        # Early exit never does more traversal work.
+        assert run_any.stats["total_node_visits"] <= run_all.stats["total_node_visits"]
+        assert run_any.stats["total_prim_tests"] <= run_all.stats["total_prim_tests"]
+
+    def test_any_hit_reduces_counters_for_from_zero_rays(self):
+        # Irregular spacing + from-zero parallel rays: the workload the
+        # hardware any-hit termination exists for.
+        rng = np.random.default_rng(5)
+        keys = np.unique(np.cumsum(rng.integers(1, 9, size=600)).astype(np.uint64))
+        queries = point_lookups(keys, 256, seed=6)
+        runs = {}
+        for mode in ("all", "any_hit"):
+            index = RXIndex(
+                RXConfig(
+                    key_mode=KeyMode.NAIVE,
+                    point_ray_mode=PointRayMode.PARALLEL_FROM_ZERO,
+                    point_trace_mode=mode,
+                )
+            )
+            index.build(keys)
+            runs[mode] = index.point_lookup(queries)
+        assert np.array_equal(
+            runs["any_hit"].result_rows, runs["all"].result_rows
+        )
+        assert (
+            runs["any_hit"].stats["total_node_visits"]
+            < runs["all"].stats["total_node_visits"]
+        )
+        assert (
+            runs["any_hit"].stats["total_prim_tests"]
+            < runs["all"].stats["total_prim_tests"]
+        )
+
+    def test_refit_update_rechecks_uniqueness(self, small_keys):
+        index = RXIndex(RXConfig.paper_default().with_updates_enabled())
+        index.build(small_keys)
+        assert index._point_trace_mode() == "any_hit"
+        index.update(swap_adjacent_keys(small_keys, num_swaps=16))
+        assert index._point_trace_mode() == "any_hit"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="point_trace_mode"):
+            RXIndex(RXConfig(point_trace_mode="nearest"))
+
+
 class TestRangeLookups:
     def test_results_match_reference(self, small_workload):
         index = RXIndex()

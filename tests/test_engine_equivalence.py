@@ -22,10 +22,13 @@ import pytest
 from repro.baselines.hashtable import _EMPTY, MISS_SENTINEL, WarpCoreHashTable, _mix_hash
 from repro.core.results import collect_row_ids
 from repro.rtx._reference import (
+    reference_aabb_intersect_pairs,
     reference_build_bvh,
     reference_hashtable_insert,
     reference_refit_bounds,
+    reference_sphere_intersect_pairs,
     reference_trace,
+    reference_triangle_intersect_pairs,
 )
 from repro.rtx.build_input import build_input_for_points
 from repro.rtx.bvh import BvhBuildOptions, build_bvh
@@ -176,6 +179,135 @@ class TestTraversalEquivalence:
             )
             assert np.array_equal(hits.prim_indices, golden_hits.prim_indices)
             assert engine.counters.as_dict() == golden_counters.as_dict()
+
+
+class TestIntersectPairsEquivalence:
+    """The SoA intersection packs must reproduce the seed's per-call
+    gather-and-recompute intersectors bit for bit."""
+
+    def _pair_workload(self, rng, n=700, m=4000):
+        points = rng.uniform(0, 500, size=(n, 3))
+        g = rng.integers(0, n, size=m)
+        # Mix of aimed rays (high hit rate), axis-parallel rays (the paper's
+        # workloads), degenerate zero-direction rays, and random misses.
+        target = points[g] + rng.uniform(-0.6, 0.6, size=(m, 3))
+        o = target + rng.uniform(-3.0, 3.0, size=(m, 3))
+        d = target - o
+        d[: m // 8, 1:] = 0.0       # parallel to y/z
+        d[m // 8 : m // 6] = 0.0    # fully degenerate
+        o[m // 6 : m // 4] = rng.uniform(-100, 600, size=(m // 4 - m // 6, 3))
+        tmins = rng.uniform(0, 1.0, size=m)
+        tmaxs = tmins + rng.uniform(0, 4.0, size=m)
+        return points, o, d, tmins, tmaxs, g
+
+    def test_triangle_masks_bit_identical(self):
+        rng = np.random.default_rng(61)
+        points, o, d, tmins, tmaxs, g = self._pair_workload(rng)
+        buffer = build_input_for_points("triangle", points).primitive_buffer()
+        got = buffer.intersect_pairs(o, d, tmins, tmaxs, g)
+        want = reference_triangle_intersect_pairs(
+            buffer.vertices.astype(np.float64), o, d, tmins, tmaxs, g
+        )
+        assert got.sum() > 0  # the workload must exercise the hit branches
+        assert np.array_equal(got, want)
+
+    def test_sphere_masks_bit_identical(self):
+        rng = np.random.default_rng(62)
+        points, o, d, tmins, tmaxs, g = self._pair_workload(rng)
+        buffer = build_input_for_points("sphere", points).primitive_buffer()
+        got = buffer.intersect_pairs(o, d, tmins, tmaxs, g)
+        want = reference_sphere_intersect_pairs(
+            buffer.centers, buffer.radius, o, d, tmins, tmaxs, g
+        )
+        assert got.sum() > 0
+        assert np.array_equal(got, want)
+
+    def test_aabb_masks_bit_identical(self):
+        rng = np.random.default_rng(63)
+        points, o, d, tmins, tmaxs, g = self._pair_workload(rng)
+        buffer = build_input_for_points("aabb", points).primitive_buffer()
+        got = buffer.intersect_pairs(o, d, tmins, tmaxs, g)
+        want = reference_aabb_intersect_pairs(
+            buffer.mins, buffer.maxs, o, d, tmins, tmaxs, g
+        )
+        assert got.sum() > 0
+        assert np.array_equal(got, want)
+
+    def test_empty_pair_batch(self):
+        rng = np.random.default_rng(64)
+        points = rng.uniform(0, 10, size=(5, 3))
+        for primitive in PRIMITIVES:
+            buffer = build_input_for_points(primitive, points).primitive_buffer()
+            empty = np.zeros(0, dtype=np.int64)
+            mask = buffer.intersect_pairs(
+                np.zeros((0, 3)), np.zeros((0, 3)), np.zeros(0), np.zeros(0), empty
+            )
+            assert mask.shape == (0,) and mask.dtype == bool
+
+
+class TestAnyHitModeEquivalence:
+    """``mode="any_hit"`` must report exactly the default mode's first
+    surviving hit per ray and never do more traversal work."""
+
+    def _setup(self, primitive, rng):
+        gaps = rng.integers(1, 9, size=600)
+        xs = np.cumsum(gaps).astype(np.float64)
+        points = np.column_stack([xs, np.zeros_like(xs), np.zeros_like(xs)])
+        buffer = build_input_for_points(primitive, points).primitive_buffer()
+        bvh = build_bvh(buffer)
+        picks = rng.integers(0, xs.shape[0], size=300)
+        k = xs[picks]
+        # From-zero parallel point rays: the worst case the any-hit
+        # termination exists for (they overlap every preceding key).
+        rays = RayBatch(
+            origins=np.zeros((k.shape[0], 3)),
+            directions=np.tile([1.0, 0.0, 0.0], (k.shape[0], 1)),
+            tmin=k - 0.5,
+            tmax=k + 0.5,
+        )
+        return bvh, buffer, rays
+
+    @staticmethod
+    def _first_hits(hits: HitRecords) -> dict[int, int]:
+        first: dict[int, int] = {}
+        for r, p in zip(hits.ray_indices.tolist(), hits.prim_indices.tolist()):
+            first.setdefault(r, p)
+        return first
+
+    @pytest.mark.parametrize("primitive", PRIMITIVES)
+    @pytest.mark.parametrize("max_frontier", [None, 48])
+    def test_matches_default_mode_first_hits(self, primitive, max_frontier):
+        rng = np.random.default_rng(71)
+        bvh, buffer, rays = self._setup(primitive, rng)
+        default = TraversalEngine(bvh, buffer, max_frontier=max_frontier)
+        all_hits = default.trace(rays)
+        early = TraversalEngine(bvh, buffer, max_frontier=max_frontier)
+        any_hits = early.trace(rays, mode="any_hit")
+
+        assert self._first_hits(any_hits) == self._first_hits(all_hits)
+        # Exactly one hit per hitting ray.
+        assert np.unique(any_hits.ray_indices).size == any_hits.count
+        # Early exit never does more work, and bookkeeping stays exact.
+        a, b = default.counters, early.counters
+        assert b.node_visits <= a.node_visits
+        assert b.prim_tests <= a.prim_tests
+        assert b.traversal_rounds <= a.traversal_rounds
+        assert b.rays_with_hits == a.rays_with_hits
+        assert b.rays_without_hits == a.rays_without_hits
+        assert b.prim_hits == any_hits.count
+        assert b.node_bytes_read == b.node_visits * bvh.node_bytes()
+
+    @pytest.mark.parametrize("max_frontier", [None, 48])
+    def test_callback_filtered_first_hits(self, max_frontier):
+        rng = np.random.default_rng(73)
+        bvh, buffer, rays = self._setup("triangle", rng)
+        keep_even = lambda r, p, l: (p % 2 == 0)
+        default = TraversalEngine(bvh, buffer, max_frontier=max_frontier)
+        all_hits = default.trace(rays, any_hit=keep_even)
+        early = TraversalEngine(bvh, buffer, max_frontier=max_frontier)
+        any_hits = early.trace(rays, any_hit=keep_even, mode="any_hit")
+        assert self._first_hits(any_hits) == self._first_hits(all_hits)
+        assert np.all(any_hits.prim_indices % 2 == 0)
 
 
 @pytest.mark.parametrize("builder", BUILDERS)

@@ -20,6 +20,50 @@ def _line_points(n: int) -> np.ndarray:
     return np.column_stack([np.arange(n), np.zeros(n), np.zeros(n)]).astype(np.float64)
 
 
+class TestIntersectionPacks:
+    """The cached SoA packs must match the stored geometry and be dropped
+    whenever the geometry may have moved (compute_aabbs)."""
+
+    def test_triangle_pack_matches_vertices(self):
+        buffer = TriangleBuffer(make_triangle_vertices(_line_points(6)))
+        v0x, v0y, v0z, e1x, e1y, e1z, e2x, e2y, e2z = buffer.intersection_pack()
+        v64 = buffer.vertices.astype(np.float64)
+        assert np.array_equal(np.column_stack([v0x, v0y, v0z]), v64[:, 0])
+        assert np.array_equal(np.column_stack([e1x, e1y, e1z]), v64[:, 1] - v64[:, 0])
+        assert np.array_equal(np.column_stack([e2x, e2y, e2z]), v64[:, 2] - v64[:, 0])
+        assert all(arr.flags.c_contiguous for arr in buffer.intersection_pack())
+
+    def test_pack_is_cached(self):
+        buffer = TriangleBuffer(make_triangle_vertices(_line_points(4)))
+        assert buffer.intersection_pack() is buffer.intersection_pack()
+
+    @pytest.mark.parametrize("kind", ["triangle", "sphere", "aabb"])
+    def test_compute_aabbs_invalidates_pack(self, kind):
+        points = _line_points(8)
+        if kind == "triangle":
+            buffer = TriangleBuffer(make_triangle_vertices(points))
+        elif kind == "sphere":
+            buffer = SphereBuffer(make_sphere_centers(points))
+        else:
+            buffer = AabbBuffer(*make_aabbs_from_points(points))
+        stale = buffer.intersection_pack()
+        buffer.compute_aabbs()
+        assert buffer.intersection_pack() is not stale
+
+    def test_moved_geometry_intersects_freshly_after_refit_path(self):
+        # Move every primitive in place, call compute_aabbs (what every
+        # build/refit does), and check rays hit the *new* positions.
+        points = _line_points(8)
+        buffer = TriangleBuffer(make_triangle_vertices(points))
+        ray = ([3.0, 0.0, -0.5], [0.0, 0.0, 1.0], 0.0, 1.0)
+        assert buffer.intersect(*ray, np.arange(8)).tolist() == [3]
+        buffer.vertices[:] = make_triangle_vertices(points + [100.0, 0.0, 0.0])
+        buffer.compute_aabbs()
+        assert buffer.intersect(*ray, np.arange(8)).size == 0
+        assert buffer.intersect([103.0, 0.0, -0.5], [0.0, 0.0, 1.0], 0.0, 1.0,
+                                np.arange(8)).tolist() == [3]
+
+
 class TestRayBatch:
     def test_shapes_and_defaults(self):
         batch = RayBatch(

@@ -101,6 +101,157 @@ class TestTraversalCorrectness:
         result = engine.trace(rays)
         assert result.hits_per_ray()[0] == 4
 
+    def test_unknown_mode_rejected(self):
+        engine = _line_engine(8)
+        with pytest.raises(ValueError, match="unknown trace mode"):
+            engine.trace(_point_rays([1]), mode="closest")
+
+
+class TestChunkingRegression:
+    """Hit records and counters must be identical for every ``max_frontier``
+    setting, including the chunk=0 / chunk=None aliases for 'unbounded'."""
+
+    @pytest.mark.parametrize("mode", ["all", "any_hit"])
+    def test_all_chunk_settings_agree(self, mode):
+        points = np.column_stack([np.arange(200), np.zeros(200), np.zeros(200)])
+        buffer = TriangleBuffer(make_triangle_vertices(points))
+        bvh = build_bvh(buffer)
+        rng = np.random.default_rng(37)
+        xs = rng.uniform(-5, 205, size=150)
+        rays = RayBatch(
+            origins=np.column_stack([np.zeros(150), np.zeros(150), np.zeros(150)]),
+            directions=np.tile([1.0, 0.0, 0.0], (150, 1)),
+            tmin=xs - 0.5,
+            tmax=xs + 0.5,
+        )
+        baseline_hits = None
+        baseline_counters = None
+        for chunk in (None, 0, 1, 7, 64, 10**9):
+            engine = TraversalEngine(bvh, buffer, max_frontier=chunk)
+            hits = engine.trace(rays, mode=mode)
+            if baseline_hits is None:
+                baseline_hits, baseline_counters = hits, engine.counters
+                continue
+            assert np.array_equal(hits.ray_indices, baseline_hits.ray_indices), chunk
+            assert np.array_equal(hits.prim_indices, baseline_hits.prim_indices), chunk
+            assert engine.counters.as_dict() == baseline_counters.as_dict(), chunk
+
+
+class TestAnyHitMode:
+    def test_one_hit_per_hitting_ray(self):
+        engine = _line_engine(32)
+        # A long range ray crosses every triangle but reports exactly one
+        # hit: the first the traversal finds (= the default mode's first).
+        rays = RayBatch(
+            origins=[[-0.5, 0, 0]], directions=[[1, 0, 0]], tmin=[0.0], tmax=[33.0]
+        )
+        all_hits = engine.trace(rays)
+        result = TraversalEngine(engine.bvh, engine.primitives).trace(
+            rays, mode="any_hit"
+        )
+        assert all_hits.count == 32
+        assert result.count == 1
+        assert result.prim_indices.tolist() == [int(all_hits.prim_indices[0])]
+
+    @pytest.mark.parametrize("max_frontier", [None, 16])
+    def test_callback_rejection_continues_the_ray(self, max_frontier):
+        points = np.column_stack([np.arange(12), np.zeros(12), np.zeros(12)])
+        buffer = TriangleBuffer(make_triangle_vertices(points))
+        bvh = build_bvh(buffer)
+        engine = TraversalEngine(bvh, buffer, max_frontier=max_frontier)
+        rays = RayBatch(
+            origins=[[-0.5, 0, 0]], directions=[[1, 0, 0]], tmin=[0.0], tmax=[13.0]
+        )
+        # The any-hit program ignores primitives < 5: the ray must keep
+        # traversing past the rejected hits and stop at the first survivor.
+        # "First" means first in traversal order (like a real any-hit
+        # program, whose invocation order is unspecified), i.e. exactly the
+        # first surviving hit the default mode reports.
+        keep_late = lambda r, p, l: (p >= 5)
+        result = engine.trace(rays, any_hit=keep_late, mode="any_hit")
+        reference = TraversalEngine(bvh, buffer).trace(rays, any_hit=keep_late)
+        assert result.count == 1
+        assert result.prim_indices.tolist() == [int(reference.prim_indices[0])]
+        assert result.prim_indices[0] >= 5
+
+    @pytest.mark.parametrize("max_frontier", [None, 16])
+    def test_callback_chunked_vs_unchunked_identical(self, max_frontier):
+        engine_ref = _line_engine(64)
+        rng = np.random.default_rng(11)
+        xs = rng.uniform(0, 64, size=80)
+        rays = RayBatch(
+            origins=np.zeros((80, 3)),
+            directions=np.tile([1.0, 0.0, 0.0], (80, 1)),
+            tmin=xs,
+            tmax=xs + 20.0,
+        )
+        keep_odd = lambda r, p, l: (p % 2 == 1)
+        want = engine_ref.trace(rays, any_hit=keep_odd, mode="any_hit")
+        engine = TraversalEngine(engine_ref.bvh, engine_ref.primitives, max_frontier=max_frontier)
+        got = engine.trace(rays, any_hit=keep_odd, mode="any_hit")
+        assert np.array_equal(got.ray_indices, want.ray_indices)
+        assert np.array_equal(got.prim_indices, want.prim_indices)
+        assert np.array_equal(got.lookup_ids, want.lookup_ids)
+
+    def test_empty_batch(self):
+        engine = _line_engine(8)
+        rays = RayBatch(
+            origins=np.zeros((0, 3)),
+            directions=np.zeros((0, 3)),
+            tmin=np.zeros(0),
+            tmax=np.zeros(0),
+        )
+        result = engine.trace(rays, mode="any_hit")
+        assert result.count == 0
+        assert engine.counters.traversal_rounds == 0
+
+    def test_tmin_offset_rays(self):
+        engine = _line_engine(40)
+        # Rays with tmin > 0: intersections before tmin are not hits and must
+        # not terminate the ray; the reported hit lies within (tmin, tmax)
+        # and matches the default mode's first hit per ray.
+        rays = RayBatch(
+            origins=[[-0.5, 0, 0], [-0.5, 0, 0]],
+            directions=[[1, 0, 0], [1, 0, 0]],
+            tmin=[10.0, 20.0],
+            tmax=[41.0, 41.0],
+        )
+        all_hits = engine.trace(rays)
+        first = {}
+        for r, p in zip(all_hits.ray_indices.tolist(), all_hits.prim_indices.tolist()):
+            first.setdefault(r, p)
+        result = TraversalEngine(engine.bvh, engine.primitives).trace(
+            rays, mode="any_hit"
+        )
+        got = dict(zip(result.ray_indices.tolist(), result.prim_indices.tolist()))
+        assert got == first
+        assert result.prim_indices.min() >= 10
+
+    def test_counters_reduced_on_long_rays(self):
+        # An irregular key spacing gives the BVH leaves at varying depths, so
+        # rays find their first hit rounds before their frontier would empty
+        # — the situation the early exit saves work in.  (On a perfectly
+        # balanced tree every leaf sits in the last round and there is
+        # nothing left to cut.)
+        rng = np.random.default_rng(13)
+        xs = np.cumsum(rng.integers(1, 9, size=256)).astype(np.float64)
+        points = np.column_stack([xs, np.zeros_like(xs), np.zeros_like(xs)])
+        buffer = TriangleBuffer(make_triangle_vertices(points))
+        bvh = build_bvh(buffer)
+        picks = xs[rng.integers(0, xs.shape[0], size=64)]
+        rays = RayBatch(
+            origins=np.zeros((64, 3)),
+            directions=np.tile([1.0, 0.0, 0.0], (64, 1)),
+            tmin=picks - 0.5,
+            tmax=picks + 0.5,
+        )
+        engine_all = TraversalEngine(bvh, buffer)
+        engine_all.trace(rays)
+        engine_any = TraversalEngine(bvh, buffer)
+        engine_any.trace(rays, mode="any_hit")
+        assert engine_any.counters.node_visits < engine_all.counters.node_visits
+        assert engine_any.counters.prim_tests < engine_all.counters.prim_tests
+
 
 class TestTraversalCounters:
     def test_counters_accumulate_across_traces(self):

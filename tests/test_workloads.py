@@ -93,6 +93,21 @@ class TestLookupGenerators:
         with pytest.raises(ValueError):
             point_lookups_with_hit_rate(dense_shuffled_keys(16), 8, hit_rate=1.5)
 
+    def test_miss_keys_vectorised_membership(self):
+        """The batched searchsorted membership test must behave exactly like
+        the per-draw set lookup it replaced, including at domain edges."""
+        rng = np.random.default_rng(77)
+        keys = rng.integers(0, 2**10, size=900).astype(np.uint64)
+        for key_bits in (10, 32):
+            misses = miss_keys(keys, 500, key_bits=key_bits, seed=3)
+            assert misses.shape == (500,)
+            assert not np.isin(misses, keys).any()
+            assert misses.max() <= np.uint64((1 << key_bits) - 1)
+
+    def test_miss_keys_from_empty_key_column(self):
+        misses = miss_keys(np.array([], dtype=np.uint64), 5, key_bits=10, seed=3)
+        assert misses.shape == (5,)
+
     def test_miss_keys_are_absent(self):
         keys = dense_shuffled_keys(256)
         misses = miss_keys(keys, 64, key_bits=32)
