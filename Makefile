@@ -4,13 +4,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench-smoke bench-strict bench-check
+.PHONY: test test-fast test-diff bench-smoke bench-strict bench-check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-fast:
 	$(PYTHON) -m pytest -x -q tests
+
+# Differential trace harness only; honours DIFF_SEED (CI runs extra seeds).
+test-diff:
+	$(PYTHON) -m pytest -x -q tests/test_trace_differential.py
 
 bench-smoke:
 	$(PYTHON) benchmarks/perf_smoke.py

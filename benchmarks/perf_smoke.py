@@ -5,10 +5,11 @@ Measures the engine hot paths — ``build_bvh``, ``TraversalEngine.trace``,
 reference implementations preserved in :mod:`repro.rtx._reference`, verifies
 observable equivalence on the way (identical topology, bit-identical masks
 and counters), and appends the results to a ``BENCH_engine.json`` trajectory
-artifact so future PRs can track the engine's speed over time.  Two further
-scenarios have no seed counterpart and are measured against the engine's own
-default configuration: the early-exit any-hit point-lookup trace and a
-paper-scale 2^20-ray batch streamed under a ``max_frontier`` bound.
+artifact so future PRs can track the engine's speed over time.  Three
+further scenarios have no seed counterpart and are measured against the
+engine's own default configuration: the early-exit any-hit point-lookup
+trace, the limit-pushdown ``first_k`` range-lookup trace, and a paper-scale
+2^20-ray batch streamed under a ``max_frontier`` bound.
 
 Usage::
 
@@ -22,7 +23,9 @@ Targets (checked, reported, and enforced under ``--strict``):
 * ``build_bvh`` (lbvh, 2^18 keys) at least 5x faster than the reference,
 * ``trace`` (2^16 point rays) at least 1.5x faster than the reference,
 * triangle ``intersect_pairs`` (2^20 range-ray pairs) at least 2x faster
-  than the reference row-gather intersector.
+  than the reference row-gather intersector,
+* ``first_k`` limited (k=8) range lookups (2^16 rays) at least 2x faster
+  than the same batch traced in all-hits mode.
 """
 
 from __future__ import annotations
@@ -54,6 +57,7 @@ DEFAULT_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 BUILD_SPEEDUP_TARGET = 5.0
 TRACE_SPEEDUP_TARGET = 1.5
 INTERSECT_SPEEDUP_TARGET = 2.0
+FIRSTK_SPEEDUP_TARGET = 2.0
 
 
 def _time(fn, repeats: int = 1) -> float:
@@ -275,6 +279,83 @@ def bench_trace_anyhit(log2_keys: int, log2_rays: int, compare: bool = True) -> 
     return entry
 
 
+def bench_range_firstk(
+    log2_keys: int, log2_rays: int, limit: int = 8, span: int = 32, compare: bool = True
+) -> dict:
+    """Paper-scale limited range lookups: ``first_k`` vs the all-hits trace.
+
+    The key column is a deep dense cluster at low x plus a sparse tail, and
+    the lookups are from-zero range rays over ``span`` keys of the tail —
+    the layout of Table 3's from-zero measurements, where every ray
+    geometrically overlaps the whole cluster (node culling ignores tmin) and
+    the all-hits trace pays the full cluster descent.  With ``limit`` hits
+    per lookup the budget is spent in the shallow tail leaves, the rays
+    compact out of the frontier, and the deep cluster rounds never run —
+    node visits must come out strictly below the all-hits run.  The reported
+    rows are pinned to the stable top-``limit`` cut of the all-hits stream.
+    """
+    rng = np.random.default_rng(log2_rays + 29)
+    n = 2**log2_keys
+    n_cluster = int(n * 0.9)
+    cluster = np.arange(n_cluster, dtype=np.float64)
+    sparse = n_cluster + np.cumsum(
+        rng.integers(8, 16, size=n - n_cluster)
+    ).astype(np.float64)
+    xs = np.concatenate([cluster, sparse])
+    points = np.column_stack([xs, np.zeros_like(xs), np.zeros_like(xs)])
+    buffer = build_input_for_points("triangle", points).primitive_buffer()
+    bvh = build_bvh(buffer)
+    engine = TraversalEngine(bvh, buffer)
+    starts = rng.integers(0, sparse.shape[0] - span, size=2**log2_rays)
+    lo = sparse[starts]
+    hi = sparse[starts + span - 1]
+    rays = RayBatch(
+        origins=np.zeros((lo.shape[0], 3)),
+        directions=np.tile([1.0, 0.0, 0.0], (lo.shape[0], 1)),
+        tmin=lo - 0.5,
+        tmax=hi + 0.5,
+    )
+    engine.trace(rays, mode="first_k", limit=limit)  # warm-up
+
+    new_seconds = _time(lambda: engine.trace(rays, mode="first_k", limit=limit), repeats=2)
+    entry = {
+        "path": "trace_firstk",
+        "log2_keys": log2_keys,
+        "log2_rays": log2_rays,
+        "limit": limit,
+        "span": span,
+        "new_seconds": new_seconds,
+    }
+    if compare:
+        # The all-hits side descends the whole cluster; one repeat keeps the
+        # smoke's wall-clock in check.
+        entry["ref_seconds"] = _time(lambda: engine.trace(rays), repeats=1)
+        entry["speedup"] = entry["ref_seconds"] / new_seconds
+        engine.reset_counters()
+        fk_hits = engine.trace(rays, mode="first_k", limit=limit)
+        fk_counters = engine.counters
+        engine.reset_counters()
+        all_hits = engine.trace(rays)
+        all_counters = engine.counters
+        assert fk_counters.node_visits < all_counters.node_visits
+        assert fk_counters.prim_tests < all_counters.prim_tests
+        assert fk_counters.rays_with_hits == all_counters.rays_with_hits
+        # The reported rows must be the stable top-k cut of the all-hits
+        # stream: the first `limit` hits of every lookup, in stream order.
+        taken = np.zeros(len(rays), dtype=np.int64)
+        keep = np.empty(all_hits.count, dtype=bool)
+        for i, lookup in enumerate(all_hits.lookup_ids.tolist()):
+            keep[i] = taken[lookup] < limit
+            taken[lookup] += keep[i]
+        assert np.array_equal(fk_hits.ray_indices, all_hits.ray_indices[keep])
+        assert np.array_equal(fk_hits.prim_indices, all_hits.prim_indices[keep])
+        entry["node_visits_all"] = all_counters.node_visits
+        entry["node_visits_firstk"] = fk_counters.node_visits
+        entry["prim_tests_all"] = all_counters.prim_tests
+        entry["prim_tests_firstk"] = fk_counters.prim_tests
+    return entry
+
+
 def bench_frontier(log2_keys: int, log2_rays: int, max_frontier: int, compare: bool = True) -> dict:
     """Paper-scale ray batch traced under a ``max_frontier`` memory bound.
 
@@ -338,6 +419,8 @@ def run_smoke(quick: bool = False) -> list[dict]:
     for kind in ("triangle", "sphere", "aabb"):
         entries.append(bench_intersect_pairs(kind, log2_pairs))
     entries.append(bench_trace_anyhit(10, 12 if quick else 16))
+    # Paper-scale limited (LIMIT 8) range lookups in first_k mode.
+    entries.append(bench_range_firstk(10, 12 if quick else 16))
     # Paper-scale ray batch (2^20 rays) streamed under a max_frontier bound.
     if quick:
         entries.append(bench_frontier(12, 14, max_frontier=2**12))
@@ -388,6 +471,12 @@ def check_targets(entries: list[dict]) -> list[str]:
                     f"intersect triangle 2^{entry['log2_pairs']} pairs: "
                     f"{speedup:.2f}x < {INTERSECT_SPEEDUP_TARGET}x"
                 )
+        if entry["path"] == "trace_firstk" and entry["log2_rays"] >= 16:
+            if speedup < FIRSTK_SPEEDUP_TARGET:
+                problems.append(
+                    f"first_k 2^{entry['log2_rays']} range rays: "
+                    f"{speedup:.2f}x < {FIRSTK_SPEEDUP_TARGET}x"
+                )
     return problems
 
 
@@ -399,6 +488,8 @@ def format_table(entries: list[dict]) -> str:
     for entry in entries:
         if entry["path"] == "build":
             config = f"{entry['builder']} 2^{entry['log2_keys']} keys"
+        elif entry["path"] == "trace_firstk":
+            config = f"2^{entry['log2_rays']} rays k={entry['limit']}"
         elif entry["path"] in ("trace", "trace_anyhit"):
             config = f"2^{entry['log2_rays']} rays / 2^{entry['log2_keys']} keys"
         elif entry["path"] == "trace_frontier":

@@ -52,6 +52,13 @@ def main() -> None:
           f"{ranges.total_hits} qualifying rows, SUM(value) = {ranges.aggregate}")
     assert ranges.aggregate == workload.reference_range_aggregate()
 
+    # LIMIT-k pushdown: stop each lookup after its first 4 qualifying rows
+    # (first_k traversal) instead of post-filtering an unbounded result.
+    limited = index.range_lookup(workload.range_lowers, workload.range_uppers, limit=4)
+    print(f"  with LIMIT 4 pushed down: {limited.total_hits} rows returned, "
+          f"traversal mode {limited.stats['trace_mode']!r}")
+    assert (limited.hits_per_lookup == np.minimum(ranges.hits_per_lookup, 4)).all()
+
     # ------------------------------------------------------------------ #
     # 5. What would this cost on an RTX 4090 at the paper's scale?
     # ------------------------------------------------------------------ #

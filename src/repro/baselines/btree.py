@@ -186,7 +186,15 @@ class GpuBPlusTree(GpuIndex):
             },
         )
 
-    def range_lookup(self, lowers: np.ndarray, uppers: np.ndarray) -> LookupRun:
+    def range_lookup(
+        self, lowers: np.ndarray, uppers: np.ndarray, limit: int | None = None
+    ) -> LookupRun:
+        """Linked-leaf scan from the lower bound, optionally capped at ``limit``.
+
+        With a limit the sideways leaf walk stops after ``limit`` qualifying
+        entries, so both the leaf-node visits and the scanned entries the
+        cost model charges reflect the cap.
+        """
         if self._sorted_keys is None:
             raise RuntimeError("build() must be called before lookups")
         lowers = np.asarray(lowers, dtype=np.uint64)
@@ -198,27 +206,34 @@ class GpuBPlusTree(GpuIndex):
         start = np.searchsorted(self._sorted_keys, lowers, side="left")
         stop = np.searchsorted(self._sorted_keys, uppers, side="right")
         counts = (stop - start).astype(np.int64)
+        if limit is not None:
+            if limit < 1:
+                raise ValueError(f"limit must be at least 1, got {limit}")
+            counts = np.minimum(counts, int(limit))
 
         result_rows = np.full(m, MISS_SENTINEL, dtype=np.uint64)
         nonempty = counts > 0
         result_rows[nonempty] = self._sorted_rows[start[nonempty]]
 
-        # Aggregate all qualifying values by expanding the per-range slices.
+        # Aggregate all returned values by expanding the per-range slices.
         aggregate = self._aggregate(
             self._sorted_rows[expand_slices(start, counts)].astype(np.int64)
         )
 
         leaves_scanned = 1.0 + counts.mean() / self.node_width if m else 1.0
+        stats = {
+            "node_visits_per_lookup": float(self.height) + float(leaves_scanned) - 1.0,
+            "leaf_entries_scanned": float(counts.mean()) if m else 0.0,
+        }
+        if limit is not None:
+            stats["range_limit"] = int(limit)
         return LookupRun(
             kind="range",
             num_lookups=m,
             result_rows=result_rows,
             hits_per_lookup=counts,
             aggregate=aggregate,
-            stats={
-                "node_visits_per_lookup": float(self.height) + float(leaves_scanned) - 1.0,
-                "leaf_entries_scanned": float(counts.mean()) if m else 0.0,
-            },
+            stats=stats,
         )
 
     # ------------------------------------------------------------------ #

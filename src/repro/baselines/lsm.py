@@ -88,12 +88,22 @@ class GpuLsmTree(GpuIndex):
     # lookups
     # ------------------------------------------------------------------ #
 
-    def _probe_all_levels(self, lowers: np.ndarray, uppers: np.ndarray, kind: str) -> LookupRun:
+    def _probe_all_levels(
+        self,
+        lowers: np.ndarray,
+        uppers: np.ndarray,
+        kind: str,
+        limit: int | None = None,
+    ) -> LookupRun:
         m = lowers.shape[0]
         result_rows = np.full(m, MISS_SENTINEL, dtype=np.uint64)
         hits_per_lookup = np.zeros(m, dtype=np.int64)
         aggregate = 0
         search_depth = 0.0
+        # LIMIT-k pushdown: each query's budget drains across the levels in
+        # probe order (newest run first), so older runs stop contributing —
+        # and stop being scanned — once the budget is spent.
+        remaining = None if limit is None else np.full(m, int(limit), dtype=np.int64)
 
         # Per-level probes are batched over all queries; the matched rowIDs
         # of every level are collected and aggregated in one final gather.
@@ -103,6 +113,9 @@ class GpuLsmTree(GpuIndex):
             start = np.searchsorted(level_keys, lowers, side="left")
             stop = np.searchsorted(level_keys, uppers, side="right")
             counts = (stop - start).astype(np.int64)
+            if remaining is not None:
+                counts = np.minimum(counts, remaining)
+                remaining -= counts
             nonempty = counts > 0
             newly_found = nonempty & (result_rows == MISS_SENTINEL)
             result_rows[newly_found] = level_rows[start[newly_found]]
@@ -113,16 +126,19 @@ class GpuLsmTree(GpuIndex):
         if matched_rows:
             aggregate = self._aggregate(np.concatenate(matched_rows))
 
+        stats = {
+            "levels_probed": float(self.num_levels),
+            "binary_search_depth": search_depth,
+        }
+        if limit is not None:
+            stats["range_limit"] = int(limit)
         return LookupRun(
             kind=kind,
             num_lookups=m,
             result_rows=result_rows,
             hits_per_lookup=hits_per_lookup,
             aggregate=aggregate,
-            stats={
-                "levels_probed": float(self.num_levels),
-                "binary_search_depth": search_depth,
-            },
+            stats=stats,
         )
 
     def point_lookup(self, queries: np.ndarray) -> LookupRun:
@@ -131,12 +147,16 @@ class GpuLsmTree(GpuIndex):
         queries = np.asarray(queries, dtype=np.uint64)
         return self._probe_all_levels(queries, queries, kind="point")
 
-    def range_lookup(self, lowers: np.ndarray, uppers: np.ndarray) -> LookupRun:
+    def range_lookup(
+        self, lowers: np.ndarray, uppers: np.ndarray, limit: int | None = None
+    ) -> LookupRun:
         if not self._levels:
             raise RuntimeError("build() must be called before lookups")
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be at least 1, got {limit}")
         lowers = np.asarray(lowers, dtype=np.uint64)
         uppers = np.asarray(uppers, dtype=np.uint64)
-        return self._probe_all_levels(lowers, uppers, kind="range")
+        return self._probe_all_levels(lowers, uppers, kind="range", limit=limit)
 
     # ------------------------------------------------------------------ #
     # costing

@@ -105,7 +105,15 @@ class SortedArrayIndex(GpuIndex):
             },
         )
 
-    def range_lookup(self, lowers: np.ndarray, uppers: np.ndarray) -> LookupRun:
+    def range_lookup(
+        self, lowers: np.ndarray, uppers: np.ndarray, limit: int | None = None
+    ) -> LookupRun:
+        """Forward scan from each lower bound, optionally capped at ``limit``.
+
+        With a limit the scan stops after ``limit`` qualifying entries (the
+        LIMIT-k pushdown every sorted run supports for free), so the scanned
+        entry count — and therefore the costed bytes — reflects the cap.
+        """
         if self._sorted_keys is None:
             raise RuntimeError("build() must be called before lookups")
         lowers = np.asarray(lowers, dtype=np.uint64)
@@ -117,6 +125,10 @@ class SortedArrayIndex(GpuIndex):
         start = np.searchsorted(self._sorted_keys, lowers, side="left")
         stop = np.searchsorted(self._sorted_keys, uppers, side="right")
         counts = (stop - start).astype(np.int64)
+        if limit is not None:
+            if limit < 1:
+                raise ValueError(f"limit must be at least 1, got {limit}")
+            counts = np.minimum(counts, int(limit))
 
         result_rows = np.full(m, MISS_SENTINEL, dtype=np.uint64)
         nonempty = counts > 0
@@ -126,16 +138,19 @@ class SortedArrayIndex(GpuIndex):
             self._sorted_rows[expand_slices(start, counts)].astype(np.int64)
         )
 
+        stats = {
+            "binary_search_depth": self._search_depth(self.num_keys),
+            "entries_scanned": float(counts.mean()) if m else 0.0,
+        }
+        if limit is not None:
+            stats["range_limit"] = int(limit)
         return LookupRun(
             kind="range",
             num_lookups=m,
             result_rows=result_rows,
             hits_per_lookup=counts,
             aggregate=aggregate,
-            stats={
-                "binary_search_depth": self._search_depth(self.num_keys),
-                "entries_scanned": float(counts.mean()) if m else 0.0,
-            },
+            stats=stats,
         )
 
     # ------------------------------------------------------------------ #

@@ -130,6 +130,13 @@ class RXConfig:
     #: column holds duplicates), "auto" picks any_hit exactly when the
     #: indexed column is duplicate-free.
     point_trace_mode: str = "auto"
+    #: default hit budget pushed down into range lookups: every range lookup
+    #: stops traversing after this many qualifying rows (LIMIT-k pushdown,
+    #: ``mode="first_k"``).  ``None`` keeps the all-hits behaviour.  A
+    #: per-call ``limit=`` on :meth:`repro.core.rx_index.RXIndex.range_lookup`
+    #: overrides this (its default ``"auto"`` defers to this config value,
+    #: mirroring how ``point_trace_mode="auto"`` resolves the point mode).
+    range_limit: int | None = None
 
     def validate(self) -> None:
         """Reject configurations the hardware (or float32) cannot express."""
@@ -172,6 +179,10 @@ class RXConfig:
             raise ValueError(
                 "point_trace_mode must be 'auto', 'any_hit' or 'all', "
                 f"got {self.point_trace_mode!r}"
+            )
+        if self.range_limit is not None and self.range_limit < 1:
+            raise ValueError(
+                f"range_limit must be at least 1 (or None), got {self.range_limit}"
             )
 
     def with_updates_enabled(self) -> "RXConfig":

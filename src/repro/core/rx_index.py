@@ -257,20 +257,56 @@ class RXIndex(GpuIndex):
         run.stats["trace_mode"] = mode
         return run
 
-    def range_lookup(self, lowers: np.ndarray, uppers: np.ndarray) -> LookupRun:
+    def _range_limit(self, limit) -> int | None:
+        """Resolve the per-call ``limit`` against the configured default.
+
+        ``"auto"`` (the default) defers to ``RXConfig.range_limit`` —
+        mirroring how ``point_trace_mode="auto"`` resolves the point-lookup
+        mode; ``None`` forces an all-hits lookup regardless of the config;
+        an integer overrides the config for this call.
+        """
+        if isinstance(limit, str):
+            if limit != "auto":
+                raise ValueError(f"limit must be an int, None or 'auto', got {limit!r}")
+            return self.config.range_limit
+        if limit is not None:
+            limit = int(limit)
+            if limit < 1:
+                raise ValueError(f"limit must be at least 1, got {limit}")
+        return limit
+
+    def range_lookup(
+        self, lowers: np.ndarray, uppers: np.ndarray, limit="auto"
+    ) -> LookupRun:
+        """Answer inclusive range lookups, optionally with limit pushdown.
+
+        With an effective ``limit`` of ``k`` the traversal runs in
+        ``first_k`` mode: every lookup's rays share a budget of ``k`` hits
+        and stop traversing once it is spent, so the returned rows are
+        exactly the first ``k`` the all-hits trace would report (a stable
+        top-k cut) at a fraction of the traversal work.
+        """
         pipeline = self._require_built()
         lowers = np.asarray(lowers, dtype=np.uint64)
         uppers = np.asarray(uppers, dtype=np.uint64)
         if lowers.shape != uppers.shape:
             raise ValueError("lowers and uppers must have the same shape")
+        limit = self._range_limit(limit)
         rays = self.codec.range_ray_batch(
             lowers,
             uppers,
             self.config.range_ray_mode,
             max_rays_per_range=self.config.max_rays_per_range,
         )
-        launch = pipeline.launch(rays, num_lookups=lowers.shape[0])
-        return self._run_to_lookup(launch, lowers.shape[0], kind="range")
+        mode = "all" if limit is None else "first_k"
+        launch = pipeline.launch(
+            rays, num_lookups=lowers.shape[0], mode=mode, limit=limit
+        )
+        run = self._run_to_lookup(launch, lowers.shape[0], kind="range")
+        run.stats["trace_mode"] = mode
+        if limit is not None:
+            run.stats["range_limit"] = limit
+        return run
 
     def collect_point_matches(self, queries: np.ndarray) -> list[np.ndarray]:
         """Materialise all matching rowIDs per query (example/demo helper)."""

@@ -447,6 +447,210 @@ def reference_trace(
 
 
 # --------------------------------------------------------------------------- #
+# reference early-exit traversal (sequential per-hit budget scan)
+# --------------------------------------------------------------------------- #
+
+
+def _reference_budgeted_trace(
+    bvh: Bvh,
+    primitives: PrimitiveBuffer,
+    rays: RayBatch,
+    owner_of_ray: np.ndarray,
+    budget: dict[int, int],
+    any_hit=None,
+    prim_test_bytes: int | None = None,
+    node_cull_respects_tmin: bool = False,
+) -> tuple[HitRecords, TraversalCounters]:
+    """Shared golden loop of the early-exit trace modes.
+
+    Mirrors :func:`reference_trace` round for round, but consumes the round's
+    surviving hits one at a time in pair-stream order — every hit decrements
+    its owner's entry in the plain Python ``budget`` dict, hits of exhausted
+    owners are dropped, and rays whose owner is exhausted are excluded from
+    the next round's frontier.  This is deliberately the *sequential*
+    formulation of the budget cut; the engine's chunked rank-based
+    vectorisation must reproduce it bit for bit (hits and counters) for any
+    ``max_frontier`` setting.
+    """
+    counters = TraversalCounters()
+    counters.rays = len(rays)
+    node_bytes = bvh.node_bytes()
+    per_prim_bytes = (
+        prim_test_bytes
+        if prim_test_bytes is not None
+        else max(primitives.primitive_bytes() // max(len(primitives), 1), 1)
+    )
+
+    n_rays = len(rays)
+    hit_rays: list[int] = []
+    hit_prims: list[int] = []
+
+    if n_rays > 0 and bvh.node_count > 0:
+        if node_cull_respects_tmin:
+            node_tmin = rays.tmin
+        else:
+            node_tmin = np.minimum(rays.tmin, np.float32(0.0))
+        frontier_rays = np.arange(n_rays, dtype=np.int64)
+        frontier_nodes = np.zeros(n_rays, dtype=np.int64)
+        while frontier_rays.size:
+            counters.traversal_rounds += 1
+            counters.max_frontier_size = max(
+                counters.max_frontier_size, int(frontier_rays.size)
+            )
+            counters.node_visits += int(frontier_rays.size)
+            counters.box_tests += int(frontier_rays.size)
+            counters.node_bytes_read += int(frontier_rays.size) * node_bytes
+
+            overlap = ray_box_overlap_pairs(
+                rays.origins[frontier_rays],
+                rays.directions[frontier_rays],
+                node_tmin[frontier_rays],
+                rays.tmax[frontier_rays],
+                bvh.node_mins[frontier_nodes],
+                bvh.node_maxs[frontier_nodes],
+            )
+            frontier_rays = frontier_rays[overlap]
+            frontier_nodes = frontier_nodes[overlap]
+            if frontier_rays.size == 0:
+                break
+
+            is_leaf = bvh.left[frontier_nodes] < 0
+            leaf_rays = frontier_rays[is_leaf]
+            leaf_nodes = frontier_nodes[is_leaf]
+            if leaf_rays.size:
+                counts = bvh.prim_count[leaf_nodes]
+                firsts = bvh.first_prim[leaf_nodes]
+                total = int(counts.sum())
+                if total:
+                    pair_rays = np.repeat(leaf_rays, counts)
+                    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+                    within = np.arange(total, dtype=np.int64) - offsets
+                    slot = np.repeat(firsts, counts) + within
+                    pair_prims = bvh.prim_indices[slot]
+                    counters.prim_tests += int(pair_prims.size)
+                    counters.prim_bytes_read += int(pair_prims.size) * per_prim_bytes
+                    if primitives.hardware_intersection:
+                        counters.hardware_intersection_tests += int(pair_prims.size)
+                    else:
+                        counters.software_intersection_calls += int(pair_prims.size)
+                    mask = primitives.intersect_pairs(
+                        rays.origins[pair_rays],
+                        rays.directions[pair_rays],
+                        rays.tmin[pair_rays],
+                        rays.tmax[pair_rays],
+                        pair_prims,
+                    )
+                    cand_rays = pair_rays[mask]
+                    cand_prims = pair_prims[mask]
+                    if any_hit is not None and cand_rays.size:
+                        # The filter is elementwise, so applying it to the
+                        # whole round's candidates before the sequential
+                        # budget scan matches the engine's eager per-chunk
+                        # application.
+                        keep = np.asarray(
+                            any_hit(
+                                cand_rays, cand_prims, rays.lookup_ids[cand_rays]
+                            ),
+                            dtype=bool,
+                        )
+                        cand_rays = cand_rays[keep]
+                        cand_prims = cand_prims[keep]
+                    for ray, prim in zip(cand_rays.tolist(), cand_prims.tolist()):
+                        owner = int(owner_of_ray[ray])
+                        if budget[owner] > 0:
+                            budget[owner] -= 1
+                            hit_rays.append(ray)
+                            hit_prims.append(prim)
+
+            inner_rays = frontier_rays[~is_leaf]
+            inner_nodes = frontier_nodes[~is_leaf]
+            if inner_rays.size:
+                alive = np.array(
+                    [budget[int(owner_of_ray[ray])] > 0 for ray in inner_rays.tolist()],
+                    dtype=bool,
+                )
+                inner_rays = inner_rays[alive]
+                inner_nodes = inner_nodes[alive]
+            if inner_rays.size:
+                frontier_rays = np.concatenate([inner_rays, inner_rays])
+                frontier_nodes = np.concatenate(
+                    [bvh.left[inner_nodes], bvh.right[inner_nodes]]
+                )
+            else:
+                frontier_rays = np.zeros(0, dtype=np.int64)
+                frontier_nodes = np.zeros(0, dtype=np.int64)
+
+    ray_indices = np.asarray(hit_rays, dtype=np.int64)
+    prim_indices = np.asarray(hit_prims, dtype=np.int64)
+    lookup_ids = rays.lookup_ids[ray_indices] if ray_indices.size else ray_indices
+
+    counters.prim_hits = int(ray_indices.size)
+    rays_hit = np.unique(ray_indices).size
+    counters.rays_with_hits = int(rays_hit)
+    counters.rays_without_hits = int(n_rays - rays_hit)
+
+    hits = HitRecords(
+        ray_indices=ray_indices,
+        prim_indices=prim_indices,
+        lookup_ids=lookup_ids,
+        num_rays=n_rays,
+    )
+    return hits, counters
+
+
+def reference_any_hit_trace(
+    bvh: Bvh,
+    primitives: PrimitiveBuffer,
+    rays: RayBatch,
+    any_hit=None,
+    prim_test_bytes: int | None = None,
+    node_cull_respects_tmin: bool = False,
+) -> tuple[HitRecords, TraversalCounters]:
+    """Golden ``mode="any_hit"`` trace: a per-ray budget of one hit."""
+    owner_of_ray = np.arange(len(rays), dtype=np.int64)
+    budget = {ray: 1 for ray in range(len(rays))}
+    return _reference_budgeted_trace(
+        bvh,
+        primitives,
+        rays,
+        owner_of_ray,
+        budget,
+        any_hit=any_hit,
+        prim_test_bytes=prim_test_bytes,
+        node_cull_respects_tmin=node_cull_respects_tmin,
+    )
+
+
+def reference_first_k_trace(
+    bvh: Bvh,
+    primitives: PrimitiveBuffer,
+    rays: RayBatch,
+    limit: int,
+    any_hit=None,
+    prim_test_bytes: int | None = None,
+    node_cull_respects_tmin: bool = False,
+) -> tuple[HitRecords, TraversalCounters]:
+    """Golden ``mode="first_k"`` trace: per-lookup budgets of ``limit`` hits,
+    shared by every ray of the lookup and consumed in traversal-stream
+    order."""
+    limit = int(limit)
+    if limit < 1:
+        raise ValueError(f"limit must be at least 1, got {limit}")
+    owner_of_ray = np.asarray(rays.lookup_ids, dtype=np.int64)
+    budget = {int(lookup): limit for lookup in np.unique(owner_of_ray).tolist()}
+    return _reference_budgeted_trace(
+        bvh,
+        primitives,
+        rays,
+        owner_of_ray,
+        budget,
+        any_hit=any_hit,
+        prim_test_bytes=prim_test_bytes,
+        node_cull_respects_tmin=node_cull_respects_tmin,
+    )
+
+
+# --------------------------------------------------------------------------- #
 # reference refit (per-node reverse sweep)
 # --------------------------------------------------------------------------- #
 

@@ -234,6 +234,7 @@ class Pipeline:
         rays: RayBatch | None = None,
         num_lookups: int | None = None,
         mode: str = "all",
+        limit: int | None = None,
         **raygen_params,
     ) -> LaunchResult:
         """Launch the pipeline for a batch of rays.
@@ -243,7 +244,9 @@ class Pipeline:
         ``mode`` selects the trace semantics (see
         :meth:`repro.rtx.traversal.TraversalEngine.trace`): ``"all"`` reports
         every intersection, ``"any_hit"`` terminates each ray at its first
-        surviving hit.
+        surviving hit, ``"first_k"`` stops each lookup after ``limit``
+        surviving hits (``limit`` is required for, and only valid with, that
+        mode).
         """
         if rays is None:
             if self.raygen is None:
@@ -252,7 +255,7 @@ class Pipeline:
         if num_lookups is None:
             num_lookups = int(rays.lookup_ids.max()) + 1 if len(rays) else 0
         self._engine.reset_counters()
-        hits = self._engine.trace(rays, any_hit=self.any_hit, mode=mode)
+        hits = self._engine.trace(rays, any_hit=self.any_hit, mode=mode, limit=limit)
         counters = self._engine.counters
         return LaunchResult(
             hits=hits,

@@ -18,11 +18,16 @@ and ``max_frontier_size``, which count the *logical* frontier) are
 bit-identical with the reference loop in :mod:`repro.rtx._reference` for any
 ``max_frontier`` setting.
 
-``trace`` supports two reporting modes: the default reports every
-intersection of every ray, while ``mode="any_hit"`` models the hardware
-any-hit program terminating the ray — each ray records exactly its first
-surviving hit and is compacted out of the frontier between rounds, with the
-counters reflecting only the work actually executed.
+``trace`` supports three reporting modes: the default reports every
+intersection of every ray; ``mode="any_hit"`` models the hardware any-hit
+program terminating the ray — each ray records exactly its first surviving
+hit; ``mode="first_k"`` is the limit-pushdown variant for bounded range
+lookups — every lookup carries a remaining-hit budget of ``limit`` shared by
+all of its rays, and a ray stops traversing once its lookup's budget is
+exhausted.  Both early-exit modes compact finished rays out of the frontier
+(the budget mask is fused into the leaf/inner split so no separate
+compaction gather runs), with the counters reflecting only the work
+actually executed.
 """
 
 from __future__ import annotations
@@ -124,6 +129,35 @@ class HitRecords:
         return np.bincount(self.ray_indices, minlength=self.num_rays)
 
 
+def _cut_to_budget(owners: np.ndarray, budget: np.ndarray) -> tuple[np.ndarray, bool]:
+    """Keep, in stream order, at most ``budget[owner]`` hits per owner.
+
+    ``owners`` assigns every hit of one chunk to its budget owner (the ray
+    itself in any-hit mode, the originating lookup in first_k mode).  Returns
+    the boolean keep-mask plus whether any owner's budget reached zero, and
+    decrements ``budget`` in place by the number of kept hits.  One stable
+    argsort ranks each hit within its owner's hits, so the kept hits are
+    exactly the first ``budget[owner]`` of the stream — for a budget of one
+    this degenerates to "first hit per ray", the any-hit program semantics.
+    """
+    order = np.argsort(owners, kind="stable")
+    sorted_owners = owners[order]
+    is_first = np.empty(sorted_owners.shape[0], dtype=bool)
+    is_first[0] = True
+    np.not_equal(sorted_owners[1:], sorted_owners[:-1], out=is_first[1:])
+    group_starts = np.flatnonzero(is_first)
+    counts = np.diff(np.append(group_starts, sorted_owners.shape[0]))
+    ranks = np.arange(sorted_owners.shape[0], dtype=np.int64) - np.repeat(
+        group_starts, counts
+    )
+    keep_sorted = ranks < budget[sorted_owners]
+    keep = np.empty_like(keep_sorted)
+    keep[order] = keep_sorted
+    unique_owners = sorted_owners[group_starts]
+    budget[unique_owners] -= np.minimum(counts, budget[unique_owners])
+    return keep, bool((budget[unique_owners] == 0).any())
+
+
 def _frontier_box_overlap(
     origins32: np.ndarray,
     directions32: np.ndarray,
@@ -221,7 +255,9 @@ class TraversalEngine:
     def reset_counters(self) -> None:
         self.counters = TraversalCounters()
 
-    def trace(self, rays: RayBatch, any_hit=None, mode: str = "all") -> HitRecords:
+    def trace(
+        self, rays: RayBatch, any_hit=None, mode: str = "all", limit: int | None = None
+    ) -> HitRecords:
         """Trace all rays and return their (ray, primitive) intersections.
 
         ``any_hit`` optionally mimics the OptiX any-hit program: it receives
@@ -235,18 +271,37 @@ class TraversalEngine:
           ``any_hit`` filter is applied once to the accumulated hit list.
         * ``"any_hit"`` — early-exit traversal: each ray terminates at its
           first hit that survives the ``any_hit`` filter and reports exactly
-          that one hit.  Rays that have recorded a hit are compacted out of
-          the frontier between rounds, so the counters reflect only the
-          traversal work actually executed (on RT hardware the any-hit
-          program ends the ray the same way).  The reported hit per ray
-          equals the first surviving hit the default mode would report for
-          it.  The filter is applied eagerly per leaf chunk in this mode, so
-          it must be elementwise (decide each hit on its own), exactly like
-          a real any-hit program.
+          that one hit (on RT hardware the any-hit program ends the ray the
+          same way).  The reported hit per ray equals the first surviving
+          hit the default mode would report for it.
+        * ``"first_k"`` — limit-pushdown traversal: every *lookup* carries a
+          remaining-hit budget of ``limit``, shared by all of its rays
+          (``rays.lookup_ids``).  Hits are recorded in traversal-stream
+          order until the budget is exhausted, then every ray of the lookup
+          terminates.  The reported hits per lookup equal the first
+          ``limit`` surviving hits the default mode would report for it (a
+          stable top-k cut of the all-hits stream).
+
+        In both early-exit modes finished rays are compacted out of the
+        frontier between rounds, so the counters reflect only the traversal
+        work actually executed, and the ``any_hit`` filter is applied
+        eagerly per leaf chunk — it must be elementwise (decide each hit on
+        its own), exactly like a real any-hit program.  ``limit`` is only
+        meaningful with ``mode="first_k"``.
         """
-        if mode not in ("all", "any_hit"):
-            raise ValueError(f"unknown trace mode {mode!r}; use 'all' or 'any_hit'")
-        early_exit = mode == "any_hit"
+        if mode not in ("all", "any_hit", "first_k"):
+            raise ValueError(
+                f"unknown trace mode {mode!r}; use 'all', 'any_hit' or 'first_k'"
+            )
+        if mode == "first_k":
+            if limit is None:
+                raise ValueError("mode='first_k' requires a hit limit")
+            limit = int(limit)
+            if limit < 1:
+                raise ValueError(f"limit must be at least 1, got {limit}")
+        elif limit is not None:
+            raise ValueError(f"limit is only meaningful with mode='first_k', not {mode!r}")
+        early_exit = mode != "all"
         counters = TraversalCounters()
         counters.rays = len(rays)
         bvh = self.bvh
@@ -260,7 +315,19 @@ class TraversalEngine:
         n_rays = len(rays)
         hit_rays: list[np.ndarray] = []
         hit_prims: list[np.ndarray] = []
-        ray_done = np.zeros(n_rays, dtype=bool) if early_exit else None
+        # Early-exit bookkeeping: every hit consumes one unit of its owner's
+        # budget, and a ray whose owner is exhausted drops out of the
+        # frontier.  The any-hit program owns budgets per *ray* (one hit ends
+        # the ray); first_k owns them per *lookup* (rays of one lookup share
+        # the lookup's limit).
+        owners: np.ndarray | None = None
+        budget: np.ndarray | None = None
+        if early_exit and n_rays:
+            if mode == "any_hit":
+                budget = np.ones(n_rays, dtype=np.int64)
+            else:
+                owners = rays.lookup_ids
+                budget = np.full(int(owners.max()) + 1, limit, dtype=np.int64)
 
         if n_rays > 0 and bvh.node_count > 0:
             if self.node_cull_respects_tmin:
@@ -351,7 +418,7 @@ class TraversalEngine:
                         sub_hit_prims = sub_prims[mask]
                         if early_exit:
                             # Run the any-hit program on each intersection as
-                            # it is found; only surviving hits end their ray.
+                            # it is found; only surviving hits consume budget.
                             if any_hit is not None and sub_hit_rays.size:
                                 keep = np.asarray(
                                     any_hit(
@@ -364,24 +431,35 @@ class TraversalEngine:
                                 sub_hit_rays = sub_hit_rays[keep]
                                 sub_hit_prims = sub_hit_prims[keep]
                             if sub_hit_rays.size:
-                                fresh = ~ray_done[sub_hit_rays]
-                                sub_hit_rays = sub_hit_rays[fresh]
-                                sub_hit_prims = sub_hit_prims[fresh]
-                            if sub_hit_rays.size:
-                                # First surviving hit per ray, in pair order.
-                                _, first_idx = np.unique(
-                                    sub_hit_rays, return_index=True
+                                own = (
+                                    sub_hit_rays
+                                    if owners is None
+                                    else owners[sub_hit_rays]
                                 )
-                                first_idx.sort()
-                                sub_hit_rays = sub_hit_rays[first_idx]
-                                sub_hit_prims = sub_hit_prims[first_idx]
-                                ray_done[sub_hit_rays] = True
-                                terminated_this_round = True
+                                keep, exhausted = _cut_to_budget(own, budget)
+                                sub_hit_rays = sub_hit_rays[keep]
+                                sub_hit_prims = sub_hit_prims[keep]
+                                if exhausted:
+                                    terminated_this_round = True
                         hit_rays.append(sub_hit_rays)
                         hit_prims.append(sub_hit_prims)
 
-                inner_rays = frontier_rays[~is_leaf]
-                inner_nodes = frontier_nodes[~is_leaf]
+                inner_mask = ~is_leaf
+                if early_exit and terminated_this_round:
+                    # Terminated rays drop out of the frontier between rounds,
+                    # exactly like hardware ending a ray whose budget ran dry;
+                    # the next round's counters only see survivors.  The alive
+                    # mask is fused into the leaf/inner split so the children
+                    # of dead rays are never materialised and no separate
+                    # post-expansion compaction gather runs.  (Earlier
+                    # terminations were compacted in their own round, so this
+                    # only triggers when a ray died this round.)
+                    own_frontier = (
+                        frontier_rays if owners is None else owners[frontier_rays]
+                    )
+                    inner_mask &= budget[own_frontier] > 0
+                inner_rays = frontier_rays[inner_mask]
+                inner_nodes = frontier_nodes[inner_mask]
                 n_inner = int(inner_rays.size)
                 if n_inner:
                     if child_rays.shape[0] < 2 * n_inner:
@@ -398,17 +476,6 @@ class TraversalEngine:
                 else:
                     frontier_rays = np.zeros(0, dtype=np.int64)
                     frontier_nodes = np.zeros(0, dtype=np.int64)
-
-                if early_exit and terminated_this_round and frontier_rays.size:
-                    # Terminated rays drop out of the frontier between rounds,
-                    # exactly like hardware ending a ray from the any-hit
-                    # program; the next round's counters only see survivors.
-                    # (Earlier terminations were compacted in their own round,
-                    # so the gather only runs when a ray died this round.)
-                    alive = ~ray_done[frontier_rays]
-                    if not alive.all():
-                        frontier_rays = frontier_rays[alive]
-                        frontier_nodes = frontier_nodes[alive]
 
         if hit_rays:
             ray_indices = np.concatenate(hit_rays)

@@ -16,6 +16,7 @@ from repro.workloads.keys import (
     zipf_keys,
 )
 from repro.workloads.lookups import (
+    limited_range_lookups,
     point_lookups,
     point_lookups_with_hit_rate,
     range_lookups,
@@ -31,6 +32,7 @@ __all__ = [
     "SecondaryIndexWorkload",
     "dense_shuffled_keys",
     "keys_with_multiplicity",
+    "limited_range_lookups",
     "point_lookups",
     "point_lookups_with_hit_rate",
     "range_lookups",

@@ -83,6 +83,66 @@ class TestRangeLookups:
         with pytest.raises(ValueError):
             index.range_lookup(np.array([1], dtype=np.uint64), np.array([2, 3], dtype=np.uint64))
 
+    @pytest.mark.parametrize("index_class", [GpuBPlusTree, SortedArrayIndex, GpuLsmTree])
+    def test_limited_ranges_cap_every_lookup(self, index_class, small_workload):
+        # LIMIT-k pushdown: the probe stops after `limit` qualifying rows, so
+        # the per-lookup counts are the capped reference counts and the
+        # aggregate covers exactly the returned rows.
+        index = index_class()
+        index.build(small_workload.keys, small_workload.values)
+        full = small_workload.reference_range_hits()
+        lowers, uppers = small_workload.range_lowers, small_workload.range_uppers
+        for limit in (1, 3, 100):
+            run = index.range_lookup(lowers, uppers, limit=limit)
+            assert np.array_equal(run.hits_per_lookup, np.minimum(full, limit))
+            assert run.stats["range_limit"] == limit
+        unlimited = index.range_lookup(lowers, uppers)
+        assert "range_limit" not in unlimited.stats
+        assert np.array_equal(unlimited.hits_per_lookup, full)
+
+    @pytest.mark.parametrize("index_class", [GpuBPlusTree, SortedArrayIndex, GpuLsmTree])
+    def test_limited_scan_stats_reflect_the_cap(self, index_class, small_workload):
+        # The structural stats feed the cost model: a capped scan must not
+        # charge for entries it never touched.
+        index = index_class()
+        index.build(small_workload.keys, small_workload.values)
+        lowers, uppers = small_workload.range_lowers, small_workload.range_uppers
+        capped = index.range_lookup(lowers, uppers, limit=1)
+        unlimited = index.range_lookup(lowers, uppers)
+        scanned_key = (
+            "leaf_entries_scanned" if index_class is GpuBPlusTree else "entries_scanned"
+        )
+        if index_class is GpuLsmTree:
+            assert capped.total_hits < unlimited.total_hits
+        else:
+            assert capped.stats[scanned_key] < unlimited.stats[scanned_key]
+
+    @pytest.mark.parametrize("index_class", [GpuBPlusTree, SortedArrayIndex, GpuLsmTree])
+    def test_invalid_limit_rejected(self, index_class, small_keys):
+        index = index_class()
+        index.build(small_keys)
+        with pytest.raises(ValueError, match="at least 1"):
+            index.range_lookup(
+                np.array([1], dtype=np.uint64), np.array([5], dtype=np.uint64), limit=0
+            )
+
+    def test_lsm_budget_drains_newest_levels_first(self):
+        # Keys 0..63 split across several runs; a capped range lookup must
+        # take its rows from the runs in probe order (newest first) and stop.
+        keys = np.arange(64, dtype=np.uint64)
+        index = GpuLsmTree(level_ratio=2)
+        index.build(keys)
+        assert index.num_levels > 1
+        lowers = np.array([0], dtype=np.uint64)
+        uppers = np.array([63], dtype=np.uint64)
+        capped = index.range_lookup(lowers, uppers, limit=5)
+        assert capped.hits_per_lookup.tolist() == [5]
+        # The first level alone holds fewer than 64 keys, so an uncapped
+        # lookup keeps scanning into older runs; the capped one stops once
+        # its budget is spent.
+        unlimited = index.range_lookup(lowers, uppers)
+        assert unlimited.hits_per_lookup.tolist() == [64]
+
 
 class TestHashTableSpecifics:
     def test_load_factor_respected(self, small_keys):

@@ -70,6 +70,43 @@ class TestMultiRowExpansion:
             expand_multi_row_ranges([5], [4], 16)
 
 
+class TestMaxRaysPerRangeBoundary:
+    """The cap is inclusive: a lookup spanning exactly ``max_rays_per_range``
+    rows fans out into that many rays; one more row must raise."""
+
+    def test_exactly_at_cap_is_accepted(self):
+        lookup_ids, rows, first, last = expand_multi_row_ranges([0], [63], 64)
+        assert rows.tolist() == list(range(64))
+        assert lookup_ids.tolist() == [0] * 64
+        assert first.tolist() == [True] + [False] * 63
+        assert last.tolist() == [False] * 63 + [True]
+
+    def test_one_row_over_cap_is_rejected(self):
+        with pytest.raises(ValueError, match="spans 65 rows, exceeding the cap"):
+            expand_multi_row_ranges([0], [64], 64)
+
+    def test_codec_boundary_through_range_ray_batch(self):
+        # 3D Mode with a 4-bit x component: rows are key >> 4, so a range of
+        # 64 * 16 keys spans exactly 64 rows (allowed, one ray each) and one
+        # key more tips it over the default cap of 64.
+        from repro.core.config import KeyDecomposition, RangeRayMode
+        from repro.core.keycodec import ThreeDCodec
+
+        codec = ThreeDCodec(KeyDecomposition(x_bits=4, y_bits=10, z_bits=0))
+        lowers = np.array([0], dtype=np.uint64)
+        at_cap = np.array([64 * 16 - 1], dtype=np.uint64)
+        rays = codec.range_ray_batch(
+            lowers, at_cap, RangeRayMode.PARALLEL_FROM_OFFSET, max_rays_per_range=64
+        )
+        assert len(rays) == 64
+        assert rays.lookup_ids.tolist() == [0] * 64
+        over_cap = np.array([64 * 16], dtype=np.uint64)
+        with pytest.raises(ValueError, match="exceeding the cap"):
+            codec.range_ray_batch(
+                lowers, over_cap, RangeRayMode.PARALLEL_FROM_OFFSET, max_rays_per_range=64
+            )
+
+
 def _hits(ray_indices, prim_indices, lookup_ids, num_rays) -> HitRecords:
     return HitRecords(
         ray_indices=np.asarray(ray_indices, dtype=np.int64),

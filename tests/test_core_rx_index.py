@@ -221,6 +221,83 @@ class TestRangeLookups:
             index.range_lookup(np.array([1], dtype=np.uint64), np.array([2, 3], dtype=np.uint64))
 
 
+class TestRangeLimitPushdown:
+    def test_per_call_limit_caps_every_lookup(self, small_workload):
+        index = RXIndex()
+        index.build(small_workload.keys, small_workload.values)
+        full = small_workload.reference_range_hits()
+        for limit in (1, 3, 8, 100):
+            run = index.range_lookup(
+                small_workload.range_lowers, small_workload.range_uppers, limit=limit
+            )
+            assert np.array_equal(run.hits_per_lookup, np.minimum(full, limit))
+            assert run.stats["trace_mode"] == "first_k"
+            assert run.stats["range_limit"] == limit
+
+    def test_limited_rows_are_a_stable_cut_of_the_unlimited_run(self, small_workload):
+        index = RXIndex()
+        index.build(small_workload.keys, small_workload.values)
+        unlimited = index.range_lookup(
+            small_workload.range_lowers, small_workload.range_uppers
+        )
+        limited = index.range_lookup(
+            small_workload.range_lowers, small_workload.range_uppers, limit=2
+        )
+        # The first reported row per lookup is unchanged by the cut, and the
+        # limited traversal never does more work.
+        assert np.array_equal(limited.result_rows, unlimited.result_rows)
+        assert limited.stats["total_node_visits"] <= unlimited.stats["total_node_visits"]
+        assert limited.stats["total_prim_tests"] <= unlimited.stats["total_prim_tests"]
+
+    def test_config_default_applies_and_per_call_overrides(self, small_workload):
+        index = RXIndex(RXConfig(range_limit=2))
+        index.build(small_workload.keys, small_workload.values)
+        full = small_workload.reference_range_hits()
+        lowers, uppers = small_workload.range_lowers, small_workload.range_uppers
+        # "auto" (the default) defers to the configured limit ...
+        auto = index.range_lookup(lowers, uppers)
+        assert np.array_equal(auto.hits_per_lookup, np.minimum(full, 2))
+        # ... an int overrides it for one call ...
+        override = index.range_lookup(lowers, uppers, limit=4)
+        assert np.array_equal(override.hits_per_lookup, np.minimum(full, 4))
+        # ... and None forces the all-hits behaviour despite the config.
+        unlimited = index.range_lookup(lowers, uppers, limit=None)
+        assert np.array_equal(unlimited.hits_per_lookup, full)
+        assert unlimited.stats["trace_mode"] == "all"
+        assert unlimited.aggregate == small_workload.reference_range_aggregate()
+
+    def test_limit_respected_by_multi_row_lookups(self):
+        # A narrow decomposition fans one lookup into several rays; the
+        # budget must be shared across them, not granted per ray.
+        keys = dense_shuffled_keys(256)
+        config = RXConfig(
+            decomposition=KeyDecomposition(4, 8, 0), max_rays_per_range=64
+        )
+        index = RXIndex(config)
+        workload = SecondaryIndexWorkload.from_keys(
+            keys,
+            range_lowers=np.array([10], dtype=np.uint64),
+            range_uppers=np.array([60], dtype=np.uint64),
+        )
+        index.build(workload.keys, workload.values)
+        run = index.range_lookup(
+            workload.range_lowers, workload.range_uppers, limit=5
+        )
+        assert run.stats["rays_per_lookup"] > 1
+        assert run.hits_per_lookup.tolist() == [5]
+
+    def test_invalid_limits_rejected(self, small_keys):
+        with pytest.raises(ValueError, match="range_limit"):
+            RXConfig(range_limit=0).validate()
+        index = RXIndex()
+        index.build(small_keys)
+        bounds = np.array([1], dtype=np.uint64), np.array([5], dtype=np.uint64)
+        with pytest.raises(ValueError, match="at least 1"):
+            index.range_lookup(*bounds, limit=0)
+        with pytest.raises(ValueError, match="int, None or 'auto'"):
+            index.range_lookup(*bounds, limit="unbounded")
+
+
 class TestUpdates:
     def test_rebuild_policy_reindexes(self, small_keys):
         index = RXIndex()

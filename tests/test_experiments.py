@@ -294,6 +294,23 @@ class TestFig17Range:
         assert rx[0] / sa[0] < rx[-1] / sa[-1]
         assert "traversal" in result.notes
 
+    def test_limited_variant_pushes_the_budget_into_every_probe(self):
+        result = fig17_range.run_limited(scale=SCALE, limit=8)
+        assert result.experiment_id == "fig17_limited"
+        rx = result.series_by_label("RX").y
+        rx_unlimited = result.series_by_label("RX (no limit)").y
+        # With the budget pushed down RX never pays more than the all-hits
+        # trace; once the limit binds (span > 8) the widest span must show a
+        # real saving.  (The dense fig17 column builds a balanced BVH whose
+        # leaves sit on one level, so the cut shows up in the per-hit work,
+        # not the descent — the big traversal wins live in perf_smoke's
+        # clustered first_k scenario.)
+        assert all(lim <= full * 1.001 for lim, full in zip(rx, rx_unlimited))
+        assert rx[-1] < 0.99 * rx_unlimited[-1]
+        # Every index returned exactly min(span, 8) rows per lookup — the
+        # run itself raises otherwise — so the series are comparable.
+        assert set(result.series_by_label("B+").x) == set(fig17_range.QUALIFYING_ENTRIES)
+
 
 class TestFig18Hardware:
     def test_newer_gpus_are_faster_and_rx_gains_most_when_sorted(self):

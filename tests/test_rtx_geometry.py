@@ -50,6 +50,61 @@ class TestIntersectionPacks:
         buffer.compute_aabbs()
         assert buffer.intersection_pack() is not stale
 
+    @pytest.mark.parametrize("kind", ["triangle", "sphere", "aabb"])
+    def test_traced_then_mutated_buffers_rebuild_their_packs(self, kind):
+        # The PR 2 caching contract, probed from the mutation side: a full
+        # engine trace warms the pack, the primitive buffer is then mutated
+        # in place, and compute_aabbs() (what every build/refit path calls)
+        # must rebuild the pack so the next trace sees the moved geometry.
+        from repro.rtx.bvh import build_bvh
+        from repro.rtx.traversal import TraversalEngine
+
+        points = _line_points(16)
+        moved_points = points + np.array([50.0, 0.0, 0.0])
+        if kind == "triangle":
+            buffer = TriangleBuffer(make_triangle_vertices(points))
+            fresh = TriangleBuffer(make_triangle_vertices(moved_points))
+        elif kind == "sphere":
+            buffer = SphereBuffer(make_sphere_centers(points))
+            fresh = SphereBuffer(make_sphere_centers(moved_points))
+        else:
+            buffer = AabbBuffer(*make_aabbs_from_points(points))
+            fresh = AabbBuffer(*make_aabbs_from_points(moved_points))
+
+        bvh = build_bvh(buffer)
+        engine = TraversalEngine(bvh, buffer)
+        ray = RayBatch(
+            origins=[[3.0, 0.0, -0.5]], directions=[[0.0, 0.0, 1.0]],
+            tmin=[0.0], tmax=[1.0],
+        )
+        assert engine.trace(ray).prim_indices.tolist() == [3]  # warms the pack
+        stale = buffer.intersection_pack()
+
+        # Mutate the underlying storage in place, as an update stream does.
+        if kind == "triangle":
+            buffer.vertices[:] = make_triangle_vertices(moved_points)
+        elif kind == "sphere":
+            buffer.centers[:] = make_sphere_centers(moved_points)
+        else:
+            mins, maxs = make_aabbs_from_points(moved_points)
+            buffer.mins[:], buffer.maxs[:] = mins, maxs
+        buffer.compute_aabbs()
+
+        rebuilt = buffer.intersection_pack()
+        assert rebuilt is not stale
+        # The rebuilt pack must equal the pack of a freshly constructed
+        # buffer over the moved geometry, component for component.
+        for got, want in zip(rebuilt, fresh.intersection_pack()):
+            assert np.array_equal(got, want)
+        # And a rebuilt engine (the refit/rebuild path) hits the new spot.
+        engine = TraversalEngine(build_bvh(buffer), buffer)
+        assert engine.trace(ray).count == 0
+        moved_ray = RayBatch(
+            origins=[[53.0, 0.0, -0.5]], directions=[[0.0, 0.0, 1.0]],
+            tmin=[0.0], tmax=[1.0],
+        )
+        assert engine.trace(moved_ray).prim_indices.tolist() == [3]
+
     def test_moved_geometry_intersects_freshly_after_refit_path(self):
         # Move every primitive in place, call compute_aabbs (what every
         # build/refit does), and check rays hit the *new* positions.

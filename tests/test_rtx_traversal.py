@@ -107,11 +107,114 @@ class TestTraversalCorrectness:
             engine.trace(_point_rays([1]), mode="closest")
 
 
+class TestFirstKMode:
+    def _range_rays(self, spans, lookup_ids=None) -> RayBatch:
+        spans = np.asarray(spans, dtype=float)
+        m = spans.shape[0]
+        return RayBatch(
+            origins=np.tile([-0.5, 0.0, 0.0], (m, 1)),
+            directions=np.tile([1.0, 0.0, 0.0], (m, 1)),
+            tmin=np.zeros(m),
+            tmax=spans + 0.5,
+            lookup_ids=lookup_ids,
+        )
+
+    def test_limit_argument_validation(self):
+        engine = _line_engine(8)
+        rays = _point_rays([1])
+        with pytest.raises(ValueError, match="requires a hit limit"):
+            engine.trace(rays, mode="first_k")
+        with pytest.raises(ValueError, match="at least 1"):
+            engine.trace(rays, mode="first_k", limit=0)
+        with pytest.raises(ValueError, match="only meaningful"):
+            engine.trace(rays, mode="all", limit=4)
+        with pytest.raises(ValueError, match="only meaningful"):
+            engine.trace(rays, mode="any_hit", limit=1)
+
+    def test_reports_first_k_hits_in_traversal_order(self):
+        engine = _line_engine(32)
+        # One ray crossing all 32 triangles: first_k must report exactly the
+        # first `k` hits of the all-hits stream, in the same order.
+        rays = self._range_rays([32.0])
+        all_hits = engine.trace(rays)
+        assert all_hits.count == 32
+        for k in (1, 5, 32, 100):
+            result = TraversalEngine(engine.bvh, engine.primitives).trace(
+                rays, mode="first_k", limit=k
+            )
+            want = all_hits.prim_indices[: min(k, 32)]
+            assert result.prim_indices.tolist() == want.tolist()
+
+    def test_limit_one_equals_any_hit_for_single_ray_lookups(self):
+        engine = _line_engine(48)
+        rng = np.random.default_rng(19)
+        rays = self._range_rays(rng.uniform(1, 40, size=30))
+        fk_engine = TraversalEngine(engine.bvh, engine.primitives)
+        fk = fk_engine.trace(rays, mode="first_k", limit=1)
+        ah_engine = TraversalEngine(engine.bvh, engine.primitives)
+        ah = ah_engine.trace(rays, mode="any_hit")
+        assert np.array_equal(fk.ray_indices, ah.ray_indices)
+        assert np.array_equal(fk.prim_indices, ah.prim_indices)
+        # With the default 1:1 ray-to-lookup mapping the per-lookup budget
+        # degenerates to the per-ray any-hit budget, counters included.
+        assert fk_engine.counters.as_dict() == ah_engine.counters.as_dict()
+
+    def test_budget_shared_across_rays_of_one_lookup(self):
+        engine = _line_engine(64)
+        # Two rays serving lookup 0 (a fanned-out multi-row range) plus one
+        # ray for lookup 1: lookup 0's rays share a budget of 3 in stream
+        # order, lookup 1 keeps its own.
+        rays = RayBatch(
+            origins=[[-0.5, 0, 0], [19.5, 0, 0], [39.5, 0, 0]],
+            directions=[[1, 0, 0]] * 3,
+            tmin=[0.0] * 3,
+            tmax=[10.5, 10.5, 10.5],
+            lookup_ids=[0, 0, 1],
+        )
+        result = TraversalEngine(engine.bvh, engine.primitives).trace(
+            rays, mode="first_k", limit=3
+        )
+        by_lookup = {}
+        for lookup, prim in zip(result.lookup_ids.tolist(), result.prim_indices.tolist()):
+            by_lookup.setdefault(lookup, []).append(prim)
+        assert len(by_lookup[0]) == 3
+        assert len(by_lookup[1]) == 3
+        assert all(p >= 40 for p in by_lookup[1])
+
+    def test_counters_never_exceed_all_mode(self):
+        engine = _line_engine(128)
+        rng = np.random.default_rng(23)
+        rays = self._range_rays(rng.uniform(10, 100, size=60))
+        all_engine = TraversalEngine(engine.bvh, engine.primitives)
+        all_engine.trace(rays)
+        fk_engine = TraversalEngine(engine.bvh, engine.primitives)
+        fk_hits = fk_engine.trace(rays, mode="first_k", limit=2)
+        a, b = all_engine.counters, fk_engine.counters
+        assert b.node_visits <= a.node_visits
+        assert b.prim_tests <= a.prim_tests
+        assert b.traversal_rounds <= a.traversal_rounds
+        assert b.rays_with_hits == a.rays_with_hits
+        assert b.prim_hits == fk_hits.count
+        assert b.node_bytes_read == b.node_visits * engine.bvh.node_bytes()
+
+    def test_empty_batch(self):
+        engine = _line_engine(8)
+        rays = RayBatch(
+            origins=np.zeros((0, 3)),
+            directions=np.zeros((0, 3)),
+            tmin=np.zeros(0),
+            tmax=np.zeros(0),
+        )
+        result = engine.trace(rays, mode="first_k", limit=4)
+        assert result.count == 0
+        assert engine.counters.traversal_rounds == 0
+
+
 class TestChunkingRegression:
     """Hit records and counters must be identical for every ``max_frontier``
     setting, including the chunk=0 / chunk=None aliases for 'unbounded'."""
 
-    @pytest.mark.parametrize("mode", ["all", "any_hit"])
+    @pytest.mark.parametrize("mode", ["all", "any_hit", "first_k"])
     def test_all_chunk_settings_agree(self, mode):
         points = np.column_stack([np.arange(200), np.zeros(200), np.zeros(200)])
         buffer = TriangleBuffer(make_triangle_vertices(points))
@@ -124,11 +227,12 @@ class TestChunkingRegression:
             tmin=xs - 0.5,
             tmax=xs + 0.5,
         )
+        trace_kwargs = {"limit": 3} if mode == "first_k" else {}
         baseline_hits = None
         baseline_counters = None
         for chunk in (None, 0, 1, 7, 64, 10**9):
             engine = TraversalEngine(bvh, buffer, max_frontier=chunk)
-            hits = engine.trace(rays, mode=mode)
+            hits = engine.trace(rays, mode=mode, **trace_kwargs)
             if baseline_hits is None:
                 baseline_hits, baseline_counters = hits, engine.counters
                 continue
