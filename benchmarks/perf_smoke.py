@@ -18,6 +18,16 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_smoke.py --strict      # enforce targets
     PYTHONPATH=src python benchmarks/perf_smoke.py --check-only  # correctness only (CI)
 
+A sharded-build scenario measures the Morton-prefix forest
+(:mod:`repro.rtx.forest`) at 2^20 keys against the serial single-tree build:
+one entry per worker count, each verifying that the stitched forest tree is
+bit-identical to the single-tree arrays.  Because the worker pool is a host
+multiprocessing pool, every recorded entry carries the effective pool size,
+the shard count and the machine's CPU count, keeping BENCH trajectories
+comparable across machines — the parallel-speedup target is only *enforced*
+on hosts with enough CPUs to run the pool concurrently (a single-CPU host
+still records the scenario).
+
 Targets (checked, reported, and enforced under ``--strict``):
 
 * ``build_bvh`` (lbvh, 2^18 keys) at least 5x faster than the reference,
@@ -25,13 +35,16 @@ Targets (checked, reported, and enforced under ``--strict``):
 * triangle ``intersect_pairs`` (2^20 range-ray pairs) at least 2x faster
   than the reference row-gather intersector,
 * ``first_k`` limited (k=8) range lookups (2^16 rays) at least 2x faster
-  than the same batch traced in all-hits mode.
+  than the same batch traced in all-hits mode,
+* the sharded forest build (2^20 keys, 4 workers) at least 2x faster than
+  the serial single-tree build — enforced on hosts with >= 4 CPUs.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -47,7 +60,8 @@ from repro.rtx._reference import (
     reference_triangle_intersect_pairs,
 )
 from repro.rtx.build_input import build_input_for_points
-from repro.rtx.bvh import BvhBuildOptions, build_bvh
+from repro.rtx.bvh import BvhBuildOptions, build_bvh, bvh_arrays_diff
+from repro.rtx.forest import build_forest
 from repro.rtx.geometry import RayBatch, TriangleBuffer, make_triangle_vertices
 from repro.rtx.refit import refit_accel
 from repro.rtx.traversal import TraversalEngine
@@ -58,6 +72,10 @@ BUILD_SPEEDUP_TARGET = 5.0
 TRACE_SPEEDUP_TARGET = 1.5
 INTERSECT_SPEEDUP_TARGET = 2.0
 FIRSTK_SPEEDUP_TARGET = 2.0
+FOREST_BUILD_SPEEDUP_TARGET = 2.0
+#: CPUs the host must expose before the parallel forest-build target is
+#: enforced (a pool cannot beat the serial build without real concurrency).
+FOREST_TARGET_MIN_CPUS = 4
 
 
 def _time(fn, repeats: int = 1) -> float:
@@ -99,6 +117,53 @@ def bench_build(log2_keys: int, builder: str = "lbvh", compare: bool = True) -> 
         entry["ref_seconds"] = ref_seconds
         entry["speedup"] = ref_seconds / new_seconds
     return entry
+
+
+def bench_build_forest(
+    log2_keys: int, shard_bits: int, workers_list: tuple[int, ...], compare: bool = True
+) -> list[dict]:
+    """Time sharded forest builds against the serial single-tree build.
+
+    One entry per worker count, all sharing a single timed single-tree
+    comparison partner (``ref_seconds``) — our own vectorised ``build_bvh``,
+    not the seed reference — so the speedup isolates what sharding plus the
+    worker pool buys.  Every stitched tree is verified bit-identical to the
+    single-tree arrays on the way.
+    """
+    n = 2**log2_keys
+    rng = np.random.default_rng(log2_keys)
+    points = rng.uniform(0, 1e6, size=(n, 3))
+    buffer = TriangleBuffer(make_triangle_vertices(points))
+
+    single = None
+    ref_seconds = None
+    if compare:
+        single = build_bvh(buffer, BvhBuildOptions())
+        ref_seconds = _time(lambda: build_bvh(buffer, BvhBuildOptions()), repeats=2)
+
+    entries = []
+    for workers in workers_list:
+        options = BvhBuildOptions(shard_bits=shard_bits, workers=workers)
+        forest = build_forest(buffer, options)
+        new_seconds = _time(lambda: build_forest(buffer, options), repeats=2)
+        entry = {
+            "path": "build_forest",
+            "log2_keys": log2_keys,
+            "shard_bits": shard_bits,
+            "workers_requested": workers,
+            "workers": forest.workers_used,
+            "shards": forest.non_empty_shards,
+            "delegated_shards": forest.delegated_shards,
+            "cpu_count": os.cpu_count() or 1,
+            "new_seconds": new_seconds,
+        }
+        if compare:
+            entry["ref_seconds"] = ref_seconds
+            entry["speedup"] = ref_seconds / new_seconds
+            diff = bvh_arrays_diff(forest.bvh, single)
+            assert diff is None, f"forest diverged from the single tree on {diff!r}"
+        entries.append(entry)
+    return entries
 
 
 def bench_trace(log2_keys: int, log2_rays: int, compare: bool = True) -> dict:
@@ -426,17 +491,35 @@ def run_smoke(quick: bool = False) -> list[dict]:
         entries.append(bench_frontier(12, 14, max_frontier=2**12))
     else:
         entries.append(bench_frontier(16, 20, max_frontier=2**18))
+    # Sharded forest build vs the serial single-tree build (one entry per
+    # worker count; the pool only helps on multi-CPU hosts, which the
+    # recorded workers/cpu_count fields make explicit).
+    if quick:
+        entries.extend(bench_build_forest(16, shard_bits=4, workers_list=(1, 2)))
+    else:
+        entries.extend(bench_build_forest(20, shard_bits=6, workers_list=(1, 4)))
     return entries
 
 
 def append_artifact(entries: list[dict], path: Path = DEFAULT_ARTIFACT) -> dict:
-    """Append one run to the ``BENCH_engine.json`` trajectory artifact."""
+    """Append one run to the ``BENCH_engine.json`` trajectory artifact.
+
+    Every entry records the worker-pool size and shard count it ran with
+    (1/1 for the unsharded serial paths) plus the run records the host CPU
+    count, so trajectories from machines with different parallel hardware
+    remain comparable.
+    """
     if path.exists():
         trajectory = json.loads(path.read_text())
     else:
         trajectory = {"description": "engine wall-clock trajectory", "runs": []}
+    for entry in entries:
+        entry.setdefault("workers", 1)
+        entry.setdefault("shards", 1)
     run = {
         "unix_time": time.time(),
+        "cpu_count": os.cpu_count() or 1,
+        "peak_workers": max(entry["workers"] for entry in entries),
         "entries": entries,
     }
     trajectory["runs"].append(run)
@@ -477,6 +560,21 @@ def check_targets(entries: list[dict]) -> list[str]:
                     f"first_k 2^{entry['log2_rays']} range rays: "
                     f"{speedup:.2f}x < {FIRSTK_SPEEDUP_TARGET}x"
                 )
+        if (
+            entry["path"] == "build_forest"
+            and entry["log2_keys"] >= 20
+            and entry["workers_requested"] >= 4
+        ):
+            # A worker pool cannot beat the serial build without CPUs to run
+            # on; the target binds only where the hardware allows it (the
+            # entry records cpu_count so skips are visible in the artifact).
+            if entry["cpu_count"] >= FOREST_TARGET_MIN_CPUS:
+                if speedup < FOREST_BUILD_SPEEDUP_TARGET:
+                    problems.append(
+                        f"forest build 2^{entry['log2_keys']} keys, "
+                        f"{entry['workers_requested']} workers: "
+                        f"{speedup:.2f}x < {FOREST_BUILD_SPEEDUP_TARGET}x"
+                    )
     return problems
 
 
@@ -488,6 +586,11 @@ def format_table(entries: list[dict]) -> str:
     for entry in entries:
         if entry["path"] == "build":
             config = f"{entry['builder']} 2^{entry['log2_keys']} keys"
+        elif entry["path"] == "build_forest":
+            config = (
+                f"2^{entry['log2_keys']} keys {entry['shards']}sh "
+                f"w={entry['workers_requested']}"
+            )
         elif entry["path"] == "trace_firstk":
             config = f"2^{entry['log2_rays']} rays k={entry['limit']}"
         elif entry["path"] in ("trace", "trace_anyhit"):

@@ -37,3 +37,12 @@ def test_fig10c_build_time(benchmark):
     assert result.series, "experiment produced no series"
     print()
     print(result.to_text())
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10d_sharded_build_wallclock(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run_fig10d(scale="tiny"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    print()
+    print(result.to_text())

@@ -45,10 +45,18 @@ class RangeRayMode(enum.Enum):
 
 
 class UpdatePolicy(enum.Enum):
-    """How an existing index absorbs key updates (Sec 3.6, Table 4)."""
+    """How an existing index absorbs key updates (Sec 3.6, Table 4).
+
+    ``DELTA_SHARD`` is the forest-backed middle ground: partition the key
+    space by Morton prefix (``RXConfig.shard_bits``), re-sort and rebuild
+    only the shards an update actually touched, and re-stitch — full-rebuild
+    lookup quality at a cost that scales with the dirty shards instead of
+    the total key count.
+    """
 
     REBUILD = "rebuild"
     REFIT = "refit"
+    DELTA_SHARD = "delta_shard"
 
 
 @dataclass(frozen=True)
@@ -119,6 +127,13 @@ class RXConfig:
     bvh_builder: str = "lbvh"
     max_leaf_size: int = 4
     morton_bits: int = 21
+    #: Morton-prefix sharding of the accel build: 0 builds one tree, ``b > 0``
+    #: builds a forest of ``2**b`` shards stitched into a bit-identical tree
+    #: (requires the lbvh builder).  Enables parallel builds and the
+    #: DELTA_SHARD update policy.
+    shard_bits: int = 0
+    #: worker processes for sharded builds; 1 = serial (always bit-identical)
+    build_workers: int = 1
     sphere_radius: float = 0.25
     #: safety cap for the ray fan-out of wide range lookups in 3D Mode
     max_rays_per_range: int = 64
@@ -167,6 +182,21 @@ class RXConfig:
                 "refit updates require allow_updates=True at build time "
                 "(the OptiX update flag must be set during construction)"
             )
+        if not 0 <= self.shard_bits <= 16:
+            raise ValueError("shard_bits must be in [0, 16]")
+        if self.shard_bits and self.bvh_builder != "lbvh":
+            raise ValueError(
+                "sharded (forest) builds require bvh_builder='lbvh': the "
+                "Morton-prefix partition is only a prefix of lbvh's split "
+                "hierarchy"
+            )
+        if self.build_workers < 1:
+            raise ValueError("build_workers must be at least 1")
+        if self.update_policy is UpdatePolicy.DELTA_SHARD and self.shard_bits < 1:
+            raise ValueError(
+                "delta-shard updates require shard_bits >= 1: the update "
+                "granularity is the Morton-prefix shard"
+            )
         if self.max_leaf_size < 1:
             raise ValueError("max_leaf_size must be positive")
         if self.max_rays_per_range < 1:
@@ -192,6 +222,20 @@ class RXConfig:
             allow_updates=True,
             compaction=False,
             update_policy=UpdatePolicy.REFIT,
+        )
+
+    def with_delta_updates(self, shard_bits: int = 6, workers: int = 1) -> "RXConfig":
+        """Copy of this config prepared for forest-backed delta-shard updates.
+
+        Unlike refits, delta updates rebuild (and recompact) the dirty
+        subtrees, so neither the OptiX update flag nor disabling compaction
+        is required.
+        """
+        return replace(
+            self,
+            shard_bits=shard_bits,
+            build_workers=workers,
+            update_policy=UpdatePolicy.DELTA_SHARD,
         )
 
     @staticmethod

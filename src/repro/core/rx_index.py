@@ -18,7 +18,7 @@ indexes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -51,6 +51,7 @@ from repro.rtx.pipeline import (
     Pipeline,
     accel_build,
     accel_compact,
+    accel_delta_update,
     accel_update,
 )
 
@@ -66,6 +67,10 @@ _INSTR_PER_HIT = 6.0
 #: data is stored inside the accel in a compressed layout).
 _PRIM_TEST_BYTES = {"triangle": 36, "sphere": 16, "aabb": 24}
 
+#: Bytes per primitive streamed by the build/update passes (the raw input
+#: buffer layout: 9/3/6 float32 per triangle/sphere/AABB).
+_BUILD_PRIM_BYTES = {"triangle": 36, "sphere": 12, "aabb": 24}
+
 #: Fraction of the hit-path traversal work a missing ray still performs
 #: (calibrated to the paper's measured -63% memory traffic at hit rate 0).
 MISS_TRAVERSAL_FACTOR = 0.35
@@ -78,6 +83,9 @@ class UpdateOutcome:
     policy: UpdatePolicy
     profiles: list[WorkProfile]
     surface_area_growth: float = 1.0
+    #: per-policy structural details (delta updates report their dirty-shard
+    #: accounting here so experiments can check the O(dirty) scaling)
+    stats: dict = field(default_factory=dict)
 
 
 class RXIndex(GpuIndex):
@@ -128,6 +136,8 @@ class RXIndex(GpuIndex):
             builder=self.config.bvh_builder,
             max_leaf_size=self.config.max_leaf_size,
             morton_bits=self.config.morton_bits,
+            shard_bits=self.config.shard_bits,
+            workers=self.config.build_workers,
         )
 
     def _make_build_input(self, keys: np.ndarray):
@@ -189,6 +199,15 @@ class RXIndex(GpuIndex):
                 "bvh_leaves": bvh.leaf_count,
                 "compacted": self._accel.compacted,
                 **compaction_stats,
+                **(
+                    {
+                        "shards": self._accel.forest.non_empty_shards,
+                        "delegated_shards": self._accel.forest.delegated_shards,
+                        "build_workers": self._accel.forest.workers_used,
+                    }
+                    if self._accel.forest is not None
+                    else {}
+                ),
             },
         )
         return self._build_result
@@ -218,6 +237,7 @@ class RXIndex(GpuIndex):
             stats={
                 "rays_per_lookup": launch.num_rays / max(num_lookups, 1),
                 "node_visits_per_ray": counters.node_visits / rays,
+                "leaf_visits_per_ray": counters.leaf_visits / rays,
                 "box_tests_per_ray": counters.box_tests / rays,
                 "prim_tests_per_ray": counters.prim_tests / rays,
                 "node_bytes_per_ray": counters.node_bytes_read / rays,
@@ -226,6 +246,7 @@ class RXIndex(GpuIndex):
                 "traversal_rounds": counters.traversal_rounds,
                 "total_node_visits": counters.node_visits,
                 "total_prim_tests": counters.prim_tests,
+                "budget_dropped_hits": counters.budget_dropped_hits,
             },
         )
 
@@ -334,7 +355,15 @@ class RXIndex(GpuIndex):
             raise RuntimeError("RXIndex.build() must be called before update()")
         if new_values is None:
             # Updates permute the key buffer; the projected value column stays
-            # associated with the (unchanged) rowIDs.
+            # associated with the (unchanged) rowIDs.  When the update adds or
+            # removes rows the stored column no longer lines up — the caller
+            # must say what the new rows project to.
+            if new_keys.shape[0] != self.num_keys:
+                raise ValueError(
+                    "update() changed the key count from "
+                    f"{self.num_keys} to {new_keys.shape[0]}; pass new_values "
+                    "explicitly (the stored value column has the old length)"
+                )
             new_values = self.values
 
         if self.config.update_policy is UpdatePolicy.REBUILD:
@@ -342,6 +371,29 @@ class RXIndex(GpuIndex):
             return UpdateOutcome(
                 policy=UpdatePolicy.REBUILD,
                 profiles=self.build_profiles(),
+            )
+
+        if self.config.update_policy is UpdatePolicy.DELTA_SHARD:
+            self._store_column(new_keys, new_values, key_bits=64)
+            build_input = self._make_build_input(self.keys)
+            delta = accel_delta_update(self.context, self._accel, build_input)
+            # The stitched tree object was swapped; rebind the pipeline.
+            self._pipeline = Pipeline(
+                self.context, self._accel, max_frontier=self.max_frontier
+            )
+            return UpdateOutcome(
+                policy=UpdatePolicy.DELTA_SHARD,
+                profiles=[self._delta_update_profile(delta)],
+                stats={
+                    "dirty_shards": delta.dirty_shards,
+                    "non_empty_shards": delta.non_empty_shards,
+                    "total_shards": delta.total_shards,
+                    "rebuilt_trees": delta.rebuilt_trees,
+                    "dirty_keys": delta.dirty_keys,
+                    "total_keys": delta.total_keys,
+                    "noop": delta.noop,
+                    "rescaled": delta.rescaled,
+                },
             )
 
         if new_keys.shape[0] != self.num_keys:
@@ -369,6 +421,45 @@ class RXIndex(GpuIndex):
             surface_area_growth=refit.surface_area_growth,
         )
 
+    def _delta_update_profile(self, delta) -> WorkProfile:
+        """Device work of a delta-shard update.
+
+        The dirty shards redo the build passes (AABBs, Morton sort, hierarchy
+        emission) over *their* keys only; every update additionally pays one
+        streaming diff over the primitive buffers (dirty detection) and one
+        streaming rewrite of the node table (the re-stitch), both linear with
+        small constants.  A no-op update degenerates to just the diff pass.
+        """
+        n = self.num_keys
+        estimate = accel_memory_estimate(self.config.primitive.value, n)
+        prim_bytes = _BUILD_PRIM_BYTES[self.config.primitive.value]
+        dirty = int(delta.dirty_keys)
+        dirty_frac = dirty / max(delta.total_keys, 1)
+        diff_bytes = n * prim_bytes * 2.0  # read old + new buffers once
+        stitch_bytes = 0.0 if delta.noop else estimate["uncompacted"] * 1.0
+        rebuild_bytes = (
+            dirty * prim_bytes * 2.0
+            + dirty * 12.0 * 2.0 * 4.0
+            + estimate["uncompacted"] * 3.0 * dirty_frac
+        )
+        bytes_accessed = diff_bytes + stitch_bytes + rebuild_bytes
+        return WorkProfile(
+            name="RX delta-shard update",
+            threads=max(n, 1),
+            instructions=n * 4.0 + dirty * 320.0,
+            bytes_accessed=bytes_accessed,
+            working_set_bytes=estimate["uncompacted"]
+            + estimate["peak_during_build"] * dirty_frac,
+            serial_depth=4.0,
+            kernel_launches=2 + int(delta.rebuilt_trees > 0) * 4,
+            dram_bytes_min=bytes_accessed * 0.8,
+            metadata={
+                "dirty_shards": delta.dirty_shards,
+                "dirty_keys": dirty,
+                "rebuilt_trees": delta.rebuilt_trees,
+            },
+        )
+
     # ------------------------------------------------------------------ #
     # costing
     # ------------------------------------------------------------------ #
@@ -394,7 +485,7 @@ class RXIndex(GpuIndex):
     ) -> list[WorkProfile]:
         n = self.num_keys if target_keys is None else target_keys
         estimate = accel_memory_estimate(self.config.primitive.value, n)
-        prim_bytes = {"triangle": 36, "sphere": 12, "aabb": 24}[self.config.primitive.value]
+        prim_bytes = _BUILD_PRIM_BYTES[self.config.primitive.value]
         # The BVH build makes several passes: primitive AABB computation,
         # Morton coding + sort, hierarchy emission, bound fitting, and
         # (optionally) compaction.  This is what makes RX the most expensive
@@ -443,6 +534,21 @@ class RXIndex(GpuIndex):
         rays_per_lookup = run.stats.get("rays_per_lookup", 1.0)
         node_visits = run.stats.get("node_visits_per_ray", 1.0)
         prim_tests = run.stats.get("prim_tests_per_ray", 1.0)
+        # Early-exit traversal (any_hit / first_k): the wavefront engine only
+        # retires a terminated ray between rounds, so on balanced trees —
+        # where every leaf sits on the last level — its measured counters
+        # still include leaf-phase work that per-ray RT hardware would have
+        # skipped once the budget ran dry.  ``budget_dropped_hits`` counts
+        # exactly those surplus hits; discount the leaf visits and primitive
+        # tests by the surviving fraction so a pushed-down LIMIT shows up in
+        # the modelled cost even on balanced dense trees.
+        dropped = run.stats.get("budget_dropped_hits", 0)
+        if dropped > 0:
+            kept = max(run.total_hits, 1)
+            survive = kept / (kept + dropped)
+            leaf_visits = run.stats.get("leaf_visits_per_ray", 0.0)
+            node_visits -= leaf_visits * (1.0 - survive)
+            prim_tests *= survive
         extra_levels = self._node_visit_scale(target_keys)
         node_visits += extra_levels
         # Rays that miss every primitive abort their traversal early: the

@@ -7,7 +7,8 @@ OptiX 7 raytracing stack that the RTIndeX paper relies on:
 * geometric primitives and intersection tests (:mod:`repro.rtx.geometry`),
 * OptiX-style acceleration-structure build inputs (:mod:`repro.rtx.build_input`),
 * bounding volume hierarchies with SAH and LBVH builders (:mod:`repro.rtx.bvh`,
-  :mod:`repro.rtx.morton`),
+  :mod:`repro.rtx.morton`) and the Morton-prefix sharded forest build with
+  delta-shard updates (:mod:`repro.rtx.forest`),
 * compaction and refitting (:mod:`repro.rtx.compaction`, :mod:`repro.rtx.refit`),
 * the traversal engine with hardware-style counters (:mod:`repro.rtx.traversal`),
 * a programmable pipeline mirroring ``optixLaunch`` (:mod:`repro.rtx.pipeline`),
@@ -27,6 +28,7 @@ from repro.rtx.build_input import (
 )
 from repro.rtx.bvh import Bvh, BvhBuildOptions, build_bvh
 from repro.rtx.compaction import compact_accel
+from repro.rtx.forest import BvhForest, build_forest, delta_update_forest
 from repro.rtx.geometry import AabbBuffer, RayBatch, SphereBuffer, TriangleBuffer
 from repro.rtx.memory import DeviceMemoryTracker
 from repro.rtx.pipeline import (
@@ -36,6 +38,7 @@ from repro.rtx.pipeline import (
     Pipeline,
     accel_build,
     accel_compact,
+    accel_delta_update,
     accel_update,
 )
 from repro.rtx.refit import refit_accel
@@ -47,6 +50,7 @@ __all__ = [
     "BuildFlags",
     "Bvh",
     "BvhBuildOptions",
+    "BvhForest",
     "DeviceContext",
     "DeviceMemoryTracker",
     "GeometryAccel",
@@ -61,8 +65,11 @@ __all__ = [
     "TriangleBuildInput",
     "accel_build",
     "accel_compact",
+    "accel_delta_update",
     "accel_update",
     "build_bvh",
+    "build_forest",
+    "delta_update_forest",
     "compact_accel",
     "refit_accel",
 ]

@@ -381,6 +381,7 @@ def reference_trace(
             is_leaf = bvh.left[frontier_nodes] < 0
             leaf_rays = frontier_rays[is_leaf]
             leaf_nodes = frontier_nodes[is_leaf]
+            counters.leaf_visits += int(leaf_rays.size)
             if leaf_rays.size:
                 counts = bvh.prim_count[leaf_nodes]
                 firsts = bvh.first_prim[leaf_nodes]
@@ -517,6 +518,7 @@ def _reference_budgeted_trace(
             is_leaf = bvh.left[frontier_nodes] < 0
             leaf_rays = frontier_rays[is_leaf]
             leaf_nodes = frontier_nodes[is_leaf]
+            counters.leaf_visits += int(leaf_rays.size)
             if leaf_rays.size:
                 counts = bvh.prim_count[leaf_nodes]
                 firsts = bvh.first_prim[leaf_nodes]
@@ -561,6 +563,8 @@ def _reference_budgeted_trace(
                             budget[owner] -= 1
                             hit_rays.append(ray)
                             hit_prims.append(prim)
+                        else:
+                            counters.budget_dropped_hits += 1
 
             inner_rays = frontier_rays[~is_leaf]
             inner_nodes = frontier_nodes[~is_leaf]

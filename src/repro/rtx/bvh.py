@@ -70,6 +70,20 @@ class BvhBuildOptions:
         disables the effect of compaction.
     allow_compaction:
         Mirrors ``OPTIX_BUILD_FLAG_ALLOW_COMPACTION``.
+    shard_bits:
+        When positive, the build partitions primitives by the top
+        ``shard_bits`` bits of their Morton codes into ``2**shard_bits``
+        shards and assembles the tree as a forest of independently built
+        sub-BVHs stitched under a top-level split table
+        (:mod:`repro.rtx.forest`).  The stitched tree is bit-identical to the
+        ``shard_bits=0`` single-tree build; only the build schedule changes.
+        Requires the ``"lbvh"`` builder (the prefix partition *is* the top of
+        the LBVH split hierarchy; SAH/median splits do not decompose along
+        Morton prefixes).
+    workers:
+        Worker processes used to build the shards of a sharded build.  ``1``
+        (the default) builds every shard serially in-process; any value is
+        bit-identical per shard, so results never depend on the pool size.
     """
 
     builder: str = "lbvh"
@@ -78,6 +92,8 @@ class BvhBuildOptions:
     morton_bits: int = 21
     allow_update: bool = False
     allow_compaction: bool = True
+    shard_bits: int = 0
+    workers: int = 1
 
     def validate(self) -> None:
         if self.builder not in ("lbvh", "sah", "median"):
@@ -88,6 +104,18 @@ class BvhBuildOptions:
             raise ValueError("morton_bits must be in [1, 21]")
         if self.sah_bins < 2:
             raise ValueError("sah_bins must be >= 2")
+        if not 0 <= self.shard_bits <= 16:
+            raise ValueError("shard_bits must be in [0, 16]")
+        if self.shard_bits and self.builder != "lbvh":
+            raise ValueError(
+                "sharded (forest) builds require the 'lbvh' builder: the "
+                "Morton-prefix partition is only a prefix of lbvh's split "
+                "hierarchy"
+            )
+        if self.shard_bits > 3 * self.morton_bits:
+            raise ValueError("shard_bits cannot exceed the Morton code width")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
 
 @dataclass
@@ -235,9 +263,18 @@ def build_bvh(
 
     This is the software analogue of ``optixAccelBuild`` with
     ``OPTIX_BUILD_OPERATION_BUILD``.
+
+    With ``options.shard_bits > 0`` the build routes through the sharded
+    forest pipeline (:func:`repro.rtx.forest.build_forest`) and returns its
+    stitched tree — bit-identical to the single-tree build, but constructed
+    shard by shard (optionally across a worker pool).
     """
     options = options or BvhBuildOptions()
     options.validate()
+    if options.shard_bits:
+        from repro.rtx.forest import build_forest
+
+        return build_forest(primitive_buffer, options).bvh
     prim_mins, prim_maxs = primitive_buffer.compute_aabbs()
     prim_mins = prim_mins.astype(np.float64)
     prim_maxs = prim_maxs.astype(np.float64)
@@ -267,6 +304,54 @@ def build_bvh(
         "node_count": bvh.node_count,
         "leaf_count": bvh.leaf_count,
     }
+    return bvh
+
+
+#: The arrays that define a BVH's observable behaviour.  Everything the
+#: traversal engine reads lives here, so two trees agreeing on all of them
+#: are interchangeable — the invariant the sharded forest build rests on.
+BVH_ARRAY_FIELDS = (
+    "left",
+    "right",
+    "first_prim",
+    "prim_count",
+    "prim_indices",
+    "node_mins",
+    "node_maxs",
+)
+
+
+def bvh_arrays_diff(a: Bvh, b: Bvh) -> str | None:
+    """Name of the first defining array where ``a`` and ``b`` differ, or None.
+
+    The single home of the bit-identicality check used by the forest
+    stitcher's verification sites (bench, experiments, tests).
+    """
+    for attr in BVH_ARRAY_FIELDS:
+        if not np.array_equal(getattr(a, attr), getattr(b, attr)):
+            return attr
+    return None
+
+
+def build_lbvh_over_sorted(
+    sorted_codes: np.ndarray,
+    prim_mins: np.ndarray,
+    prim_maxs: np.ndarray,
+    options: BvhBuildOptions,
+) -> Bvh:
+    """Build an LBVH over primitives *already sorted* by Morton code.
+
+    The reusable sub-range builder of the BVH forest: ``prim_mins`` /
+    ``prim_maxs`` are float64 per-primitive bounds in sorted-code order, so
+    the emitted ``prim_indices`` are simply ``0..m-1`` and the caller rebases
+    them into its global primitive stream.  Runs the same level-synchronous
+    machinery as :func:`build_bvh`, which makes a shard's subtree
+    bit-identical to the corresponding subtree of the single-tree build.
+    """
+    splitter = _LbvhSplitter(np.asarray(sorted_codes, dtype=np.uint64), options)
+    builder = _LevelSynchronousBuilder(prim_mins, prim_maxs, options, splitter)
+    bvh = builder.build(np.arange(sorted_codes.shape[0], dtype=np.int64))
+    bvh.num_primitives = int(sorted_codes.shape[0])
     return bvh
 
 
@@ -423,7 +508,7 @@ class _LevelSynchronousBuilder:
             prim_indices, self.prim_mins, self.prim_maxs, bfs_levels,
         )
 
-        perm = _dfs_renumbering(left, right, level_bounds)
+        perm = _dfs_renumbering(left, right, bfs_levels)
         out_mins = np.empty((num_nodes, 3), dtype=np.float32)
         out_maxs = np.empty((num_nodes, 3), dtype=np.float32)
         out_left = np.empty(num_nodes, dtype=np.int64)
@@ -452,9 +537,9 @@ class _LevelSynchronousBuilder:
 
 
 def _dfs_renumbering(
-    left: np.ndarray, right: np.ndarray, level_bounds: list[tuple[int, int]]
+    left: np.ndarray, right: np.ndarray, levels: list[np.ndarray]
 ) -> np.ndarray:
-    """Map breadth-first node ids to the stack-based builder's numbering.
+    """Map working node ids to the stack-based builder's numbering.
 
     The original builder popped ``(node, range)`` tuples off a Python list
     (right child first) and allocated both children consecutively when a node
@@ -462,18 +547,20 @@ def _dfs_renumbering(
     subtree sizes (bottom-up) give each node's position in the right-first
     depth-first preorder (top-down), and the k-th inner node in that order
     allocated ids ``2k + 1`` / ``2k + 2`` for its children.
+
+    ``levels`` groups the working node ids by depth (root level first) —
+    breadth-first blocks during a plain build, arbitrary id layouts when the
+    forest stitches shard subtrees together.
     """
     num_nodes = left.shape[0]
     size = np.ones(num_nodes, dtype=np.int64)
-    for level_start, level_end in reversed(level_bounds):
-        nodes = np.arange(level_start, level_end, dtype=np.int64)
+    for nodes in reversed(levels):
         inner = nodes[left[nodes] >= 0]
         if inner.size:
             size[inner] += size[left[inner]] + size[right[inner]]
 
     pos = np.zeros(num_nodes, dtype=np.int64)
-    for level_start, level_end in level_bounds:
-        nodes = np.arange(level_start, level_end, dtype=np.int64)
+    for nodes in levels:
         inner = nodes[left[nodes] >= 0]
         if inner.size:
             pos[right[inner]] = pos[inner] + 1

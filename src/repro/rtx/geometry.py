@@ -242,8 +242,12 @@ class TriangleBuffer(PrimitiveBuffer):
         # Bounds are recomputed exactly when the vertices may have moved
         # (accel build or refit), so drop the cached intersection pack.
         self._pack = None
-        mins = self.vertices.min(axis=1)
-        maxs = self.vertices.max(axis=1)
+        # Pairwise min/max over the three corner rows: the same sequential
+        # reduction order as .min(axis=1) (bit-identical) without the generic
+        # axis-reduce machinery — this pass is on the build hot path.
+        v = self.vertices
+        mins = np.minimum(np.minimum(v[:, 0], v[:, 1]), v[:, 2])
+        maxs = np.maximum(np.maximum(v[:, 0], v[:, 1]), v[:, 2])
         return mins, maxs
 
     def _intersect_pairs_block(
@@ -344,21 +348,44 @@ class SphereBuffer(PrimitiveBuffer):
     def _intersect_pairs_block(
         self, origins, directions, tmins, tmaxs, prim_indices
     ) -> np.ndarray:
-        """Analytic ray/sphere test; a hit is an entry or exit of the volume."""
-        cx, cy, cz = self.intersection_pack()
+        """Analytic ray/sphere test; a hit is an entry or exit of the volume.
+
+        Mirrors ``_frontier_box_overlap``'s all-parallel-axis specialisation:
+        an axis along which *every* ray of the block has a zero direction
+        component contributes exactly ``±0.0`` to the quadratic's ``a`` and
+        ``b`` terms, so those products are skipped entirely (the paper's
+        workloads trace axis-aligned rays, leaving only one active axis).
+        Adding or omitting a signed zero never changes a comparison result,
+        so the returned mask is bit-identical to the full evaluation kept as
+        ``reference_sphere_intersect_pairs`` in :mod:`repro.rtx._reference`.
+        """
+        pack = self.intersection_pack()
         o = np.asarray(origins, dtype=np.float64)
         d = np.asarray(directions, dtype=np.float64)
         tmins = np.asarray(tmins, dtype=np.float64)
         tmaxs = np.asarray(tmaxs, dtype=np.float64)
         g = prim_indices
         r = float(self.radius)
-        ocx = o[:, 0] - cx[g]
-        ocy = o[:, 1] - cy[g]
-        ocz = o[:, 2] - cz[g]
-        dx, dy, dz = d[:, 0], d[:, 1], d[:, 2]
-        a = dx * dx + dy * dy + dz * dz
-        b = 2.0 * (ocx * dx + ocy * dy + ocz * dz)
-        cterm = (ocx * ocx + ocy * ocy + ocz * ocz) - r * r
+        a = None
+        b = None
+        cterm = None
+        for axis in range(3):
+            oc = o[:, axis] - pack[axis][g]
+            c_axis = oc * oc
+            cterm = c_axis if cterm is None else cterm + c_axis
+            da = d[:, axis]
+            if not da.any():  # whole block parallel to this axis
+                continue
+            a_axis = da * da
+            b_axis = oc * da
+            a = a_axis if a is None else a + a_axis
+            b = b_axis if b is None else b + b_axis
+        m = g.shape[0]
+        if a is None:
+            a = np.zeros(m)
+            b = np.zeros(m)
+        cterm = cterm - r * r
+        b = 2.0 * b
         disc = b * b - 4.0 * a * cterm
         valid = (disc >= 0.0) & (a > 0.0)
         sqrt_disc = np.sqrt(np.where(valid, disc, 0.0))

@@ -12,26 +12,73 @@ from __future__ import annotations
 import numpy as np
 
 
+def _byte_expansion_table() -> np.ndarray:
+    """256-entry table mapping a byte to its 3-way bit expansion (24 bits)."""
+    table = np.zeros(256, dtype=np.uint64)
+    for bit in range(8):
+        table |= ((np.arange(256, dtype=np.uint64) >> np.uint64(bit)) & np.uint64(1)) << np.uint64(3 * bit)
+    return table
+
+
+_EXPAND_BYTE = _byte_expansion_table()
+
+
 def expand_bits_3(values: np.ndarray, bits: int) -> np.ndarray:
     """Spread the lowest ``bits`` bits of each value so that two zero bits
     separate consecutive payload bits (the classic Morton interleave step).
+
+    Evaluated one byte at a time through a precomputed 256-entry table (three
+    gathers for the full 21-bit range) instead of one pass per bit; the
+    resulting codes are identical integers either way.
     """
     values = np.asarray(values, dtype=np.uint64)
-    result = np.zeros_like(values)
-    for bit in range(bits):
-        result |= ((values >> np.uint64(bit)) & np.uint64(1)) << np.uint64(3 * bit)
+    if bits < 64:
+        values = values & np.uint64((1 << bits) - 1)
+    result = _EXPAND_BYTE[(values & np.uint64(0xFF)).astype(np.intp)]
+    for byte in range(1, (bits + 7) // 8):
+        chunk = (values >> np.uint64(8 * byte)) & np.uint64(0xFF)
+        result |= _EXPAND_BYTE[chunk.astype(np.intp)] << np.uint64(24 * byte)
     return result
 
 
-def quantize_to_grid(points: np.ndarray, bits: int) -> np.ndarray:
-    """Quantise ``(n, 3)`` points onto a ``2**bits`` per-axis grid over their bounds."""
+def quantize_to_grid_with_bounds(
+    points: np.ndarray, bits: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Quantise points onto the Morton grid and return the bounds that
+    defined it.
+
+    The sharded forest build stores the returned ``(lo, hi)`` so delta
+    updates can detect when the global grid itself moved (any change of the
+    scene bounds re-quantises *every* code and dirties every shard).
+    """
     pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
     lo = pts.min(axis=0)
     hi = pts.max(axis=0)
     extent = np.where(hi - lo > 0, hi - lo, 1.0)
     cells = (1 << bits) - 1
     normalized = (pts - lo) / extent
-    return np.minimum((normalized * cells).astype(np.uint64), np.uint64(cells))
+    grid = np.minimum((normalized * cells).astype(np.uint64), np.uint64(cells))
+    return grid, lo, hi
+
+
+def quantize_to_grid(points: np.ndarray, bits: int) -> np.ndarray:
+    """Quantise ``(n, 3)`` points onto a ``2**bits`` per-axis grid over their bounds."""
+    grid, _, _ = quantize_to_grid_with_bounds(points, bits)
+    return grid
+
+
+def morton_interleave_grid(grid: np.ndarray, bits: int) -> np.ndarray:
+    """Interleave already-quantised ``(n, 3)`` grid coordinates into codes.
+
+    Split out of :func:`morton_encode_3d` so the sharded forest build can
+    quantise once globally and interleave per shard (the interleave is the
+    expensive half and parallelises trivially); the codes are the same
+    integers either way.
+    """
+    x = expand_bits_3(grid[:, 0], bits)
+    y = expand_bits_3(grid[:, 1], bits)
+    z = expand_bits_3(grid[:, 2], bits)
+    return (x << np.uint64(2)) | (y << np.uint64(1)) | z
 
 
 def morton_encode_3d(points: np.ndarray, bits: int = 21) -> np.ndarray:
@@ -43,10 +90,28 @@ def morton_encode_3d(points: np.ndarray, bits: int = 21) -> np.ndarray:
     if not 1 <= bits <= 21:
         raise ValueError("bits must be in [1, 21]")
     grid = quantize_to_grid(points, bits)
-    x = expand_bits_3(grid[:, 0], bits)
-    y = expand_bits_3(grid[:, 1], bits)
-    z = expand_bits_3(grid[:, 2], bits)
-    return (x << np.uint64(2)) | (y << np.uint64(1)) | z
+    return morton_interleave_grid(grid, bits)
+
+
+def morton_prefix_buckets(grid: np.ndarray, bits: int, prefix_bits: int) -> np.ndarray:
+    """Top ``prefix_bits`` bits of each grid point's Morton code.
+
+    The bucket of a point is the ``prefix_bits``-bit prefix of its interleaved
+    code — the shard key of the BVH forest.  Because the code interleaves the
+    axes as ``x, y, z`` from the most significant bit downwards, the prefix can
+    be assembled straight from the top grid bits without expanding the full
+    code: bit ``j`` of the prefix (``j = 0`` most significant) is bit
+    ``bits - 1 - j // 3`` of axis ``j % 3``.
+    """
+    if not 1 <= prefix_bits <= 3 * bits:
+        raise ValueError("prefix_bits must be in [1, 3 * bits]")
+    grid = np.asarray(grid, dtype=np.uint64)
+    bucket = np.zeros(grid.shape[0], dtype=np.uint64)
+    for j in range(prefix_bits):
+        axis = j % 3
+        bitpos = np.uint64(bits - 1 - j // 3)
+        bucket = (bucket << np.uint64(1)) | ((grid[:, axis] >> bitpos) & np.uint64(1))
+    return bucket.astype(np.int64)
 
 
 def morton_decode_3d(codes: np.ndarray, bits: int = 21) -> np.ndarray:

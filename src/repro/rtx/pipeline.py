@@ -23,6 +23,7 @@ import numpy as np
 from repro.rtx.build_input import BuildFlags, BuildInput
 from repro.rtx.bvh import Bvh, BvhBuildOptions, build_bvh
 from repro.rtx.compaction import CompactionResult, compact_accel
+from repro.rtx.forest import BvhForest, DeltaUpdateStats, build_forest, delta_update_forest
 from repro.rtx.geometry import RayBatch
 from repro.rtx.memory import DeviceMemoryTracker, accel_memory_estimate
 from repro.rtx.refit import RefitResult, refit_accel
@@ -67,6 +68,10 @@ class GeometryAccel:
     memory_info: dict[str, int]
     build_metrics: BuildMetrics
     compacted: bool = False
+    #: set for sharded builds: the forest bookkeeping behind ``bvh`` (whose
+    #: stitched tree is bit-identical to a single-tree build), enabling
+    #: delta-shard updates via :func:`accel_delta_update`
+    forest: BvhForest | None = None
 
     @property
     def num_primitives(self) -> int:
@@ -103,6 +108,8 @@ def accel_build(
         morton_bits=options.morton_bits,
         allow_update=bool(flags & BuildFlags.ALLOW_UPDATE),
         allow_compaction=bool(flags & BuildFlags.ALLOW_COMPACTION),
+        shard_bits=options.shard_bits,
+        workers=options.workers,
     )
 
     buffer = build_input.primitive_buffer()
@@ -113,7 +120,12 @@ def accel_build(
     )
     accel_handle = context.memory.alloc("accel", memory_info["uncompacted"])
 
-    bvh = build_bvh(buffer, options)
+    forest = None
+    if options.shard_bits:
+        forest = build_forest(buffer, options)
+        bvh = forest.bvh
+    else:
+        bvh = build_bvh(buffer, options)
 
     context.memory.free(temp_handle)
 
@@ -121,7 +133,9 @@ def accel_build(
         num_primitives=len(buffer),
         bytes_read=build_input.primitive_bytes,
         bytes_written=memory_info["uncompacted"],
-        sort_passes=1 if options.builder == "lbvh" else 0,
+        sort_passes=forest.non_empty_shards if forest else (
+            1 if options.builder == "lbvh" else 0
+        ),
         temp_bytes=memory_info["build_temp"],
     )
     return GeometryAccel(
@@ -131,6 +145,7 @@ def accel_build(
         memory_handle=accel_handle,
         memory_info=memory_info,
         build_metrics=metrics,
+        forest=forest,
     )
 
 
@@ -172,6 +187,54 @@ def accel_update(
         context.memory.free(temp_handle)
     accel.build_input = new_build_input
     return result
+
+
+def accel_delta_update(
+    context: DeviceContext, accel: GeometryAccel, new_build_input: BuildInput
+) -> DeltaUpdateStats:
+    """Delta-shard update: rebuild only the shards the new input dirtied.
+
+    Requires the accel to have been built with ``shard_bits > 0``.  Unlike a
+    refit, the dirty subtrees are *rebuilt*, so the updated accel is
+    bit-identical to a from-scratch build over ``new_build_input`` (no
+    quality degradation), at a sorting/building cost proportional to the
+    dirty shards.  Temporary memory scales with the dirty fraction instead
+    of the full build scratch.
+    """
+    if accel.forest is None:
+        raise ValueError(
+            "delta updates require a sharded accel (build with shard_bits >= 1)"
+        )
+    new_buffer = new_build_input.primitive_buffer()
+    old_buffer = accel.build_input.primitive_buffer()
+
+    updated, stats = delta_update_forest(accel.forest, old_buffer, new_buffer)
+    dirty_fraction = stats.dirty_keys / max(stats.total_keys, 1)
+    temp_handle = context.memory.alloc(
+        "accel_delta_temp",
+        int(accel.memory_info["build_temp"] * dirty_fraction),
+        temporary=True,
+    )
+    try:
+        if len(new_buffer) != accel.bvh.num_primitives:
+            # The key count changed: swap the allocation like a rebuild does.
+            memory_info = accel_memory_estimate(new_buffer.kind, len(new_buffer))
+            key = "compacted" if accel.compacted else "uncompacted"
+            new_handle = context.memory.alloc("accel", memory_info[key])
+            context.memory.free(accel.memory_handle)
+            accel.memory_handle = new_handle
+            accel.memory_info = memory_info
+        if not stats.noop:
+            bvh = updated.bvh
+            # Rebuilt subtrees are recompacted on the way in, mirroring the
+            # rebuild path's compaction step.
+            bvh.compacted = accel.compacted
+            accel.bvh = bvh
+        accel.forest = updated
+        accel.build_input = new_build_input
+    finally:
+        context.memory.free(temp_handle)
+    return stats
 
 
 @dataclass

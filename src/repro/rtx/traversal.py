@@ -46,9 +46,20 @@ class TraversalCounters:
 
     rays: int = 0
     node_visits: int = 0
+    #: (ray, leaf) pairs among the node visits — the slice of the traversal
+    #: that issues primitive tests; lets the cost model split inner descent
+    #: from leaf-phase work.
+    leaf_visits: int = 0
     box_tests: int = 0
     prim_tests: int = 0
     prim_hits: int = 0
+    #: Hits that survived intersection + any-hit filtering but were discarded
+    #: because their owner's early-exit budget was already spent (any_hit /
+    #: first_k modes).  Zero in all-hits mode.  A per-ray hardware traversal
+    #: would have terminated before producing these, so the ratio
+    #: ``prim_hits / (prim_hits + budget_dropped_hits)`` measures how much of
+    #: the leaf-phase work the wavefront schedule could not skip.
+    budget_dropped_hits: int = 0
     rays_with_hits: int = 0
     rays_without_hits: int = 0
     node_bytes_read: int = 0
@@ -62,9 +73,11 @@ class TraversalCounters:
         """Accumulate ``other`` into ``self`` and return ``self``."""
         self.rays += other.rays
         self.node_visits += other.node_visits
+        self.leaf_visits += other.leaf_visits
         self.box_tests += other.box_tests
         self.prim_tests += other.prim_tests
         self.prim_hits += other.prim_hits
+        self.budget_dropped_hits += other.budget_dropped_hits
         self.rays_with_hits += other.rays_with_hits
         self.rays_without_hits += other.rays_without_hits
         self.node_bytes_read += other.node_bytes_read
@@ -91,9 +104,11 @@ class TraversalCounters:
         return {
             "rays": self.rays,
             "node_visits": self.node_visits,
+            "leaf_visits": self.leaf_visits,
             "box_tests": self.box_tests,
             "prim_tests": self.prim_tests,
             "prim_hits": self.prim_hits,
+            "budget_dropped_hits": self.budget_dropped_hits,
             "rays_with_hits": self.rays_with_hits,
             "rays_without_hits": self.rays_without_hits,
             "node_bytes_read": self.node_bytes_read,
@@ -390,6 +405,7 @@ class TraversalEngine:
                 is_leaf = left[frontier_nodes] < 0
                 leaf_rays = frontier_rays[is_leaf]
                 leaf_nodes = frontier_nodes[is_leaf]
+                counters.leaf_visits += int(leaf_rays.size)
                 terminated_this_round = False
                 if leaf_rays.size:
                     pair_rays, pair_prims = self._expand_leaf_pairs(leaf_rays, leaf_nodes)
@@ -437,6 +453,9 @@ class TraversalEngine:
                                     else owners[sub_hit_rays]
                                 )
                                 keep, exhausted = _cut_to_budget(own, budget)
+                                counters.budget_dropped_hits += int(
+                                    own.shape[0] - np.count_nonzero(keep)
+                                )
                                 sub_hit_rays = sub_hit_rays[keep]
                                 sub_hit_prims = sub_hit_prims[keep]
                                 if exhausted:

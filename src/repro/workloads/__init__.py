@@ -25,11 +25,16 @@ from repro.workloads.lookups import (
     zipf_point_lookups,
 )
 from repro.workloads.table import SecondaryIndexWorkload
-from repro.workloads.updates import swap_adjacent_keys, swap_adjacent_positions
+from repro.workloads.updates import (
+    clustered_key_swaps,
+    swap_adjacent_keys,
+    swap_adjacent_positions,
+)
 from repro.workloads.zipf import zipf_sample
 
 __all__ = [
     "SecondaryIndexWorkload",
+    "clustered_key_swaps",
     "dense_shuffled_keys",
     "keys_with_multiplicity",
     "limited_range_lookups",

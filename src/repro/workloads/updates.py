@@ -7,6 +7,10 @@ Both workloads permute the key buffer without changing the key *set*:
   coordinates and degrades a refitted BVH badly,
 * ``swap_adjacent_keys`` swaps pairs of rank-adjacent keys — keys move by ±1
   in a dense key set, so the refitted bounding volumes barely change.
+* ``clustered_key_swaps`` confines the rank-adjacent swaps to one contiguous
+  window of the key space — the delta-shard workload: only the Morton-prefix
+  shards covering the window are dirtied, so a sharded index rebuilds O(dirty)
+  instead of O(n).
 """
 
 from __future__ import annotations
@@ -58,6 +62,40 @@ def swap_adjacent_keys(
     rng = _rng(seed)
     rank_order = np.argsort(keys, kind="stable")
     pair_starts = rng.choice(max_pairs, size=num_swaps, replace=False) * 2
+    pos_a = rank_order[pair_starts]
+    pos_b = rank_order[pair_starts + 1]
+    keys[pos_a], keys[pos_b] = keys[pos_b].copy(), keys[pos_a].copy()
+    return keys
+
+
+def clustered_key_swaps(
+    keys: np.ndarray,
+    num_swaps: int,
+    seed: int | np.random.Generator | None = 13,
+    window_ranks: int | None = None,
+) -> np.ndarray:
+    """Swap ``num_swaps`` disjoint rank-adjacent pairs inside one contiguous
+    rank window of the key space.
+
+    Like :func:`swap_adjacent_keys` every affected key moves by ±1 on a dense
+    key set, but all touched keys live next to each other in *value* space:
+    the window covers ``window_ranks`` consecutive ranks (default: exactly the
+    ``2 * num_swaps`` ranks being swapped), placed uniformly at random.  An
+    index partitioned by key prefix therefore only sees the shards covering
+    the window as dirty — the workload behind Table 4's delta-shard rows.
+    """
+    keys = np.asarray(keys, dtype=np.uint64).copy()
+    n = keys.shape[0]
+    window = 2 * num_swaps if window_ranks is None else int(window_ranks)
+    if window < 2 * num_swaps:
+        raise ValueError("window_ranks must cover at least 2 * num_swaps ranks")
+    if window > n:
+        raise ValueError(f"cannot place a {window}-rank window over {n} keys")
+    rng = _rng(seed)
+    rank_order = np.argsort(keys, kind="stable")
+    win_start = int(rng.integers(0, n - window + 1))
+    max_pairs = window // 2
+    pair_starts = win_start + rng.choice(max_pairs, size=num_swaps, replace=False) * 2
     pos_a = rank_order[pair_starts]
     pos_b = rank_order[pair_starts + 1]
     keys[pos_a], keys[pos_b] = keys[pos_b].copy(), keys[pos_a].copy()

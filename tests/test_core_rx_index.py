@@ -375,3 +375,22 @@ class TestCosting:
         tri_profile = tri.lookup_profile(tri.point_lookup(small_workload.point_queries))
         box_profile = box.lookup_profile(box.point_lookup(small_workload.point_queries))
         assert box_profile.instructions > tri_profile.instructions
+
+    def test_limit_pushdown_discounts_cost_on_balanced_dense_trees(self):
+        # On a balanced dense tree every leaf sits on the last level, so the
+        # wavefront counters alone cannot show first_k's pruning (node visits
+        # and prim tests come out identical).  The profile must consume the
+        # budget_dropped_hits / leaf_visits stats to model the per-ray
+        # hardware termination instead.
+        index = RXIndex()
+        index.build(np.arange(4096, dtype=np.uint64))
+        lowers = np.arange(0, 3000, 3).astype(np.uint64)
+        uppers = lowers + 900
+        limited = index.range_lookup(lowers, uppers, limit=8)
+        unlimited = index.range_lookup(lowers, uppers, limit=None)
+        assert limited.stats["budget_dropped_hits"] > 0
+        assert unlimited.stats["budget_dropped_hits"] == 0
+        p_limited = index.lookup_profile(limited, target_keys=2**26, target_lookups=2**27)
+        p_unlimited = index.lookup_profile(unlimited, target_keys=2**26, target_lookups=2**27)
+        assert p_limited.rt_tests < 0.5 * p_unlimited.rt_tests
+        assert p_limited.bytes_accessed < 0.5 * p_unlimited.bytes_accessed

@@ -151,6 +151,20 @@ class TestTable4Updates:
         assert position.y[-1] > 2 * position.y[0]
         assert max(key.y) == pytest.approx(min(key.y), rel=0.05)
 
+    def test_delta_shard_updates_scale_with_dirty_shards_not_keys(self):
+        result = table04_updates.run(scale=SCALE)
+        update = result.series_by_label("clustered key swaps (delta-shard): update")
+        lookups = result.series_by_label("clustered key swaps (delta-shard): lookups")
+        rebuild = result.series_by_label("full rebuild (update / lookups / total)")
+        dirty = update.extra["dirty_shards"]
+        # Dirty shards (and with them the update cost) grow with the swap
+        # fraction, while a small clustered update stays well below a full
+        # rebuild and lookups keep rebuild quality (flat across fractions).
+        assert dirty[0] <= dirty[-1]
+        assert update.y[0] <= update.y[-1]
+        assert update.y[0] < 0.5 * rebuild.y[0]
+        assert max(lookups.y) == pytest.approx(min(lookups.y), rel=0.05)
+
 
 class TestFig10Scaling:
     def test_throughput_saturates_with_many_lookups(self):
@@ -171,6 +185,13 @@ class TestFig10Scaling:
         result = fig10_scaling.run_fig10c(scale=SCALE)
         last = {s.label: s.y[-1] for s in result.series if "unsorted" in s.label}
         assert last["RX (unsorted inserts)"] == max(last.values())
+
+    def test_fig10d_measures_sharded_builds(self):
+        result = fig10_scaling.run_fig10d(scale=SCALE)
+        single = result.series_by_label("single tree")
+        forest = result.series_by_label("forest (1 worker)")
+        assert all(v > 0 for v in single.y + forest.y)
+        assert len(result.series) >= 2
 
 
 class TestTable5Warps:

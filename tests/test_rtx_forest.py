@@ -1,0 +1,295 @@
+"""Morton-prefix sharded BVH forest: stitching, workers, delta updates.
+
+The load-bearing invariant — forest traversal bit-identical to the
+single-tree engine across all trace modes — is pinned by the randomised
+differential harness (``tests/test_trace_differential.py``, sharding axis).
+This suite covers the forest-specific surface: shard-partition edge cases
+(empty shards, everything in one shard, more shards than keys,
+duplicate-heavy columns, bucket-spanning mixed leaves), worker-pool
+bit-identity, delta-shard updates (dirty-subset rebuilds, no-op detection,
+grid rescales, growing/shrinking columns), and the RXIndex plumbing around
+them.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import RXConfig, RXIndex
+from repro.core.config import UpdatePolicy
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import RTX_4090
+from repro.rtx.bvh import BvhBuildOptions, build_bvh, bvh_arrays_diff
+from repro.rtx.forest import build_forest, delta_update_forest, plan_top_level
+from repro.rtx.geometry import RayBatch, TriangleBuffer, make_triangle_vertices
+from repro.workloads import clustered_key_swaps, dense_shuffled_keys
+
+def _buffer(points: np.ndarray) -> TriangleBuffer:
+    return TriangleBuffer(make_triangle_vertices(points))
+
+
+def _line(xs) -> np.ndarray:
+    xs = np.asarray(xs, dtype=np.float64)
+    return np.column_stack([xs, np.zeros_like(xs), np.zeros_like(xs)])
+
+
+def _assert_trees_equal(got, want, label=""):
+    diff = bvh_arrays_diff(got, want)
+    assert diff is None, (label, diff)
+
+
+def _assert_forest_matches_single(points, shard_bits, max_leaf_size=4, workers=1):
+    single = build_bvh(_buffer(points), BvhBuildOptions(max_leaf_size=max_leaf_size))
+    forest = build_forest(
+        _buffer(points),
+        BvhBuildOptions(
+            max_leaf_size=max_leaf_size, shard_bits=shard_bits, workers=workers
+        ),
+    )
+    _assert_trees_equal(forest.bvh, single, f"shard_bits={shard_bits}")
+    return forest
+
+
+class TestForestBuild:
+    def test_empty_shards_are_skipped(self):
+        # Two tight clusters at opposite ends: almost every prefix bucket is
+        # empty, and the stitched tree must still equal the single tree.
+        rng = np.random.default_rng(1)
+        xs = np.concatenate([rng.uniform(0, 10, 300), rng.uniform(1e6, 1e6 + 10, 300)])
+        forest = _assert_forest_matches_single(_line(xs), shard_bits=8)
+        assert forest.non_empty_shards < forest.num_shards
+
+    def test_all_keys_in_one_shard(self):
+        # A single dense cluster in a scene whose bounds it defines: every
+        # key lands in few buckets; the degenerate single-delegate case (no
+        # top-level nodes) must hold for shard_bits=1.
+        xs = np.arange(500, dtype=np.float64)
+        forest = _assert_forest_matches_single(_line(xs), shard_bits=1)
+        assert forest.non_empty_shards <= 2
+
+    def test_more_shards_than_keys(self):
+        rng = np.random.default_rng(2)
+        forest = _assert_forest_matches_single(
+            rng.uniform(0, 100, size=(7, 3)), shard_bits=10, max_leaf_size=1
+        )
+        assert forest.non_empty_shards <= 7
+
+    def test_duplicate_heavy_column(self):
+        # Many primitives share one coordinate: identical Morton codes force
+        # the in-shard median fallback splits, which must still stitch into
+        # the single tree.
+        rng = np.random.default_rng(3)
+        xs = np.repeat(rng.uniform(0, 1000, 40), 25)
+        for shard_bits in (2, 6):
+            _assert_forest_matches_single(_line(xs), shard_bits=shard_bits)
+
+    def test_bucket_spanning_mixed_leaf(self):
+        # Three far-apart keys with max_leaf_size=4: the single tree is one
+        # leaf spanning three buckets; the top-level planner must absorb the
+        # buckets instead of delegating them.
+        forest = _assert_forest_matches_single(
+            _line([0.0, 1e6, 2e6]), shard_bits=8, max_leaf_size=4
+        )
+        assert forest.delegated_shards == 0
+        assert forest.bvh.node_count == 1
+
+    def test_single_primitive(self):
+        _assert_forest_matches_single(_line([5.0]), shard_bits=4)
+
+    def test_worker_pool_is_bit_identical(self):
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0, 1e5, size=(2000, 3))
+        serial = build_forest(_buffer(points), BvhBuildOptions(shard_bits=4, workers=1))
+        pooled = build_forest(_buffer(points), BvhBuildOptions(shard_bits=4, workers=2))
+        _assert_trees_equal(pooled.bvh, serial.bvh, "workers")
+        assert pooled.workers_used == 2
+
+    def test_shard_bits_requires_lbvh(self):
+        with pytest.raises(ValueError, match="lbvh"):
+            BvhBuildOptions(builder="sah", shard_bits=2).validate()
+
+    def test_dispatch_only_reaches_overlapping_shards(self):
+        # Keys split into two far-apart clusters; a ray through the low
+        # cluster must only be dispatched to the shards bounding it.
+        xs = np.concatenate([np.arange(200.0), 1e6 + np.arange(200.0)])
+        forest = build_forest(_buffer(_line(xs)), BvhBuildOptions(shard_bits=6))
+        assert forest.delegated_shards >= 2
+        rays = RayBatch(
+            origins=[[0.0, 0.0, 0.0]],
+            directions=[[1.0, 0.0, 0.0]],
+            tmin=[0.0],
+            tmax=[50.0],
+        )
+        counts = forest.dispatch_counts(rays)
+        ids, mins, _ = forest.shard_bounds()
+        low_shards = {int(b) for b, m in zip(ids, mins) if m[0] < 1e5}
+        for bucket, count in counts.items():
+            assert count == (1 if bucket in low_shards else 0)
+
+    def test_plan_top_level_counts(self):
+        # Four equally full buckets → a balanced 3-inner-node top table.
+        vals = np.array([0, 1, 2, 3], dtype=np.uint64)
+        counts = np.array([10, 10, 10, 10])
+        plan = plan_top_level(vals, counts, max_leaf_size=4)
+        kinds = [entry[0] for entry in plan.entries]
+        assert kinds.count("inner") == 3
+        assert sorted(plan.delegated) == [0, 1, 2, 3]
+
+
+class TestDeltaUpdate:
+    def _forest(self, xs, shard_bits=6):
+        buf = _buffer(_line(xs))
+        return build_forest(buf, BvhBuildOptions(shard_bits=shard_bits)), buf
+
+    def _check(self, forest, old_buf, new_xs, label):
+        new_buf = _buffer(_line(new_xs))
+        updated, stats = delta_update_forest(forest, old_buf, new_buf)
+        fresh = build_bvh(_buffer(_line(new_xs)), BvhBuildOptions())
+        _assert_trees_equal(updated.bvh, fresh, label)
+        return updated, stats, new_buf
+
+    def test_noop_update_rebuilds_nothing(self):
+        xs = np.arange(1000, dtype=np.float64)
+        forest, buf = self._forest(xs)
+        updated, stats = delta_update_forest(forest, buf, _buffer(_line(xs)))
+        assert stats.noop
+        assert stats.dirty_shards == 0 and stats.rebuilt_trees == 0
+        assert updated is forest  # the original forest object, untouched
+
+    def test_local_change_dirties_a_subset(self):
+        xs = np.arange(4096, dtype=np.float64)
+        forest, buf = self._forest(xs, shard_bits=12)
+        new_xs = xs.copy()
+        new_xs[[100, 101]] = new_xs[[101, 100]]
+        _, stats, _ = self._check(forest, buf, new_xs, "local")
+        assert 1 <= stats.dirty_shards < forest.non_empty_shards
+        assert stats.dirty_keys < stats.total_keys
+
+    def test_chained_updates_stay_exact(self):
+        rng = np.random.default_rng(5)
+        xs = np.arange(2048, dtype=np.float64)
+        rng.shuffle(xs)
+        forest, buf = self._forest(xs, shard_bits=9)
+        for step in range(3):
+            sel = rng.choice(xs.shape[0] - 1, 5, replace=False)
+            new_xs = xs.copy()
+            new_xs[sel], new_xs[sel + 1] = xs[sel + 1], xs[sel]
+            forest, _, buf = self._check(forest, buf, new_xs, f"chain{step}")
+            xs = new_xs
+
+    def test_scene_rescale_forces_full_resort(self):
+        xs = np.arange(1024, dtype=np.float64)
+        forest, buf = self._forest(xs)
+        new_xs = xs.copy()
+        new_xs[-1] = 5000.0  # moves the global grid bounds
+        _, stats, _ = self._check(forest, buf, new_xs, "rescale")
+        assert stats.rescaled
+        assert stats.dirty_keys == stats.total_keys
+
+    def test_growing_and_shrinking_column(self):
+        xs = np.arange(1024, dtype=np.float64)
+        forest, buf = self._forest(xs, shard_bits=9)
+        grown = np.concatenate([xs, [500.25, 500.5, 500.75]])
+        updated, stats, new_buf = self._check(forest, buf, grown, "grow")
+        assert stats.total_keys == 1027
+        assert stats.dirty_shards < updated.non_empty_shards
+        _, stats, _ = self._check(updated, new_buf, grown[:-10], "shrink")
+        assert stats.total_keys == 1017
+
+
+class TestRXIndexForest:
+    def test_build_reports_shards_and_lookups_match_single_tree(self):
+        keys = dense_shuffled_keys(2048, seed=21)
+        sharded = RXIndex(RXConfig.paper_default().with_delta_updates(shard_bits=9))
+        single = RXIndex(RXConfig.paper_default())
+        result = sharded.build(keys)
+        single.build(keys)
+        assert result.stats["shards"] >= 2
+        assert "build_workers" in result.stats
+
+        rng = np.random.default_rng(22)
+        queries = keys[rng.integers(0, keys.shape[0], 300)]
+        a, b = sharded.point_lookup(queries), single.point_lookup(queries)
+        assert np.array_equal(a.result_rows, b.result_rows)
+        assert a.aggregate == b.aggregate
+        assert a.stats["total_node_visits"] == b.stats["total_node_visits"]
+
+        lo = np.sort(queries)[:64]
+        a, b = (
+            sharded.range_lookup(lo, lo + 40, limit=4),
+            single.range_lookup(lo, lo + 40, limit=4),
+        )
+        assert np.array_equal(a.hits_per_lookup, b.hits_per_lookup)
+        assert a.aggregate == b.aggregate
+        assert a.stats["total_prim_tests"] == b.stats["total_prim_tests"]
+
+    def test_delta_policy_validation(self):
+        with pytest.raises(ValueError, match="delta-shard"):
+            RXConfig(update_policy=UpdatePolicy.DELTA_SHARD).validate()
+        RXConfig.paper_default().with_delta_updates(shard_bits=6).validate()
+
+    def test_resizing_update_needs_explicit_values(self):
+        keys = dense_shuffled_keys(512, seed=27)
+        index = RXIndex(RXConfig.paper_default().with_delta_updates(shard_bits=6))
+        index.build(keys)
+        grown = np.concatenate([keys, [np.uint64(600)]])
+        with pytest.raises(ValueError, match="changed the key count"):
+            index.update(grown)
+        outcome = index.update(grown, np.arange(grown.shape[0], dtype=np.uint64))
+        assert outcome.stats["total_keys"] == 513
+        assert index.point_lookup(grown[-1:]).hits_per_lookup.sum() == 1
+
+    def test_delta_update_outcome_and_correctness(self):
+        keys = dense_shuffled_keys(2048, seed=23)
+        index = RXIndex(RXConfig.paper_default().with_delta_updates(shard_bits=12))
+        index.build(keys)
+
+        noop = index.update(keys.copy())
+        assert noop.policy is UpdatePolicy.DELTA_SHARD
+        assert noop.stats["noop"] and noop.stats["dirty_shards"] == 0
+
+        new_keys = clustered_key_swaps(keys, 8, seed=24)
+        outcome = index.update(new_keys)
+        assert not outcome.stats["noop"]
+        assert outcome.stats["dirty_shards"] < outcome.stats["non_empty_shards"]
+        assert outcome.stats["dirty_keys"] < outcome.stats["total_keys"]
+
+        fresh = RXIndex(RXConfig.paper_default())
+        fresh.build(new_keys)
+        queries = new_keys[:256]
+        a, b = index.point_lookup(queries), fresh.point_lookup(queries)
+        assert np.array_equal(a.result_rows, b.result_rows)
+        assert a.aggregate == b.aggregate
+
+    def test_delta_update_cost_scales_with_dirty_shards(self):
+        # Extrapolate the profiles to paper scale the way table04 does — at
+        # the simulation size the cost model's per-launch floor hides the
+        # byte/instruction differences entirely.
+        cost_model = CostModel(RTX_4090)
+        keys = dense_shuffled_keys(4096, seed=25)
+        key_factor = 2**26 / keys.shape[0]
+
+        def update_cost(num_swaps):
+            index = RXIndex(RXConfig.paper_default().with_delta_updates(shard_bits=12))
+            index.build(keys)
+            outcome = index.update(clustered_key_swaps(keys, num_swaps, seed=26))
+            ms = sum(
+                cost_model.kernel_cost(
+                    replace(p.scaled(key_factor), kernel_launches=p.kernel_launches)
+                ).time_ms
+                for p in outcome.profiles
+            )
+            return ms, outcome.stats["dirty_shards"]
+
+        small_ms, small_dirty = update_cost(2)
+        large_ms, large_dirty = update_cost(512)
+        rebuild_index = RXIndex(RXConfig.paper_default())
+        rebuild_index.build(keys)
+        rebuild_ms = sum(
+            cost_model.kernel_cost(p).time_ms
+            for p in rebuild_index.build_profiles(target_keys=2**26)
+        )
+        assert small_dirty < large_dirty
+        assert small_ms < large_ms
+        assert small_ms < 0.5 * rebuild_ms

@@ -10,6 +10,10 @@ lookup_ids, order) *and* identical counters, across
 * all three primitive types,
 * duplicate-free and duplicate-heavy key columns,
 * frontier chunk sizes ``{0, 1, 7, None}`` (0 and None alias "unbounded"),
+* single-tree builds and Morton-prefix sharded forest builds (the stitched
+  forest tree is additionally asserted array-equal to the single tree, and
+  the engine traces the *forest* tree while the golden loops walk the
+  single-tree build),
 * single-ray lookups and multi-ray lookups sharing one first_k budget,
 * traces with and without an elementwise any-hit filter.
 
@@ -18,8 +22,8 @@ against its defining property: the hits must be exactly the all-hits stream
 cut to the first ``k`` surviving hits per lookup (a stable top-k cut).
 
 The generator seed defaults to 20260727 and can be overridden with the
-``DIFF_SEED`` environment variable (CI runs two extra seeds).  The harness
-generates over 50 cases and stays well under five seconds.
+``DIFF_SEED`` environment variable (CI runs extra seeds).  The harness
+generates nearly a hundred cases and stays within a few seconds.
 """
 
 import os
@@ -34,23 +38,25 @@ from repro.rtx._reference import (
     reference_trace,
 )
 from repro.rtx.build_input import build_input_for_points
-from repro.rtx.bvh import BvhBuildOptions, build_bvh
+from repro.rtx.bvh import BvhBuildOptions, build_bvh, bvh_arrays_diff
 from repro.rtx.geometry import RayBatch
 from repro.rtx.traversal import TraversalEngine
 
 DIFF_SEED = int(os.environ.get("DIFF_SEED", "20260727"))
 PRIMITIVES = ["triangle", "sphere", "aabb"]
 CHUNK_SIZES = [0, 1, 7, None]
-NUM_CASES = 54
+SHARD_BITS = [0, 3]
+NUM_CASES = 96
 
 
 def _make_case(rng: random.Random, case_index: int) -> dict:
     """One random scene + ray batch + trace configuration."""
-    # Mixed-radix decode of the case index so the 54 cases sweep the full
-    # primitive × chunk-size × duplicates grid (24 cells) more than twice.
+    # Mixed-radix decode of the case index so the 96 cases sweep the full
+    # primitive × chunk-size × sharding × duplicates grid (48 cells) twice.
     primitive = PRIMITIVES[case_index % len(PRIMITIVES)]
     chunk = CHUNK_SIZES[(case_index // len(PRIMITIVES)) % len(CHUNK_SIZES)]
-    with_duplicates = (case_index // 12) % 2 == 0
+    shard_bits = SHARD_BITS[(case_index // 12) % len(SHARD_BITS)]
+    with_duplicates = (case_index // 24) % 2 == 0
 
     # Key column on a line: increasing positions with random gaps, with a
     # duplicate-heavy variant (several primitives share one position, so a
@@ -65,7 +71,9 @@ def _make_case(rng: random.Random, case_index: int) -> dict:
     points = np.array([[v, 0.0, 0.0] for v in xs], dtype=np.float64)
     max_x = xs[-1]
 
-    builder = rng.choice(("lbvh", "median", "sah"))
+    # Sharded builds are lbvh-only (the Morton-prefix partition is a prefix
+    # of lbvh's split hierarchy); unsharded cases sweep all three builders.
+    builder = "lbvh" if shard_bits else rng.choice(("lbvh", "median", "sah"))
     max_leaf_size = rng.choice((1, 2, 4))
 
     # Ray batch: a mix of offset range rays, from-zero range rays (overlap
@@ -99,6 +107,7 @@ def _make_case(rng: random.Random, case_index: int) -> dict:
     return {
         "primitive": primitive,
         "chunk": chunk,
+        "shard_bits": shard_bits,
         "builder": builder,
         "max_leaf_size": max_leaf_size,
         "points": points,
@@ -137,15 +146,33 @@ def test_all_modes_bit_identical_to_reference(case_index):
     rng = random.Random(DIFF_SEED * 1000 + case_index)
     case = _make_case(rng, case_index)
     buffer = build_input_for_points(case["primitive"], case["points"]).primitive_buffer()
-    bvh = build_bvh(
+    golden_bvh = build_bvh(
         buffer,
         BvhBuildOptions(builder=case["builder"], max_leaf_size=case["max_leaf_size"]),
     )
+    if case["shard_bits"]:
+        # The engine walks the stitched forest tree while the golden loops
+        # walk the single-tree build — pinning both the stitch and the
+        # traversal.  The arrays must agree exactly for that to be a real
+        # comparison, so assert it explicitly first.
+        bvh = build_bvh(
+            buffer,
+            BvhBuildOptions(
+                builder=case["builder"],
+                max_leaf_size=case["max_leaf_size"],
+                shard_bits=case["shard_bits"],
+            ),
+        )
+        diff = bvh_arrays_diff(bvh, golden_bvh)
+        assert diff is None, f"forest diverged from the single tree on {diff!r}"
+    else:
+        bvh = golden_bvh
     rays = case["rays"]
     any_hit = case["any_hit"]
     label = (
         f"seed={DIFF_SEED} case={case_index} primitive={case['primitive']} "
-        f"chunk={case['chunk']} builder={case['builder']} limit={case['limit']}"
+        f"chunk={case['chunk']} builder={case['builder']} "
+        f"shard_bits={case['shard_bits']} limit={case['limit']}"
     )
 
     def engine():
@@ -154,14 +181,14 @@ def test_all_modes_bit_identical_to_reference(case_index):
     # all-hits mode
     eng = engine()
     all_hits = eng.trace(rays, any_hit=any_hit)
-    golden_hits, golden_counters = reference_trace(bvh, buffer, rays, any_hit=any_hit)
+    golden_hits, golden_counters = reference_trace(golden_bvh, buffer, rays, any_hit=any_hit)
     _assert_same(all_hits, eng.counters, golden_hits, golden_counters, f"all {label}")
 
     # any-hit mode
     eng = engine()
     hits = eng.trace(rays, any_hit=any_hit, mode="any_hit")
     golden_hits, golden_counters = reference_any_hit_trace(
-        bvh, buffer, rays, any_hit=any_hit
+        golden_bvh, buffer, rays, any_hit=any_hit
     )
     _assert_same(hits, eng.counters, golden_hits, golden_counters, f"any_hit {label}")
 
@@ -170,7 +197,7 @@ def test_all_modes_bit_identical_to_reference(case_index):
     eng = engine()
     fk_hits = eng.trace(rays, any_hit=any_hit, mode="first_k", limit=limit)
     golden_hits, golden_counters = reference_first_k_trace(
-        bvh, buffer, rays, limit, any_hit=any_hit
+        golden_bvh, buffer, rays, limit, any_hit=any_hit
     )
     _assert_same(fk_hits, eng.counters, golden_hits, golden_counters, f"first_k {label}")
 
@@ -182,9 +209,16 @@ def test_all_modes_bit_identical_to_reference(case_index):
 
 
 def test_case_generator_covers_the_grid():
-    """The parametrised sweep must cover every primitive × chunk × dup cell."""
+    """The sweep must cover every primitive × chunk × shard × dup cell."""
     seen = set()
     for case_index in range(NUM_CASES):
         case = _make_case(random.Random(DIFF_SEED * 1000 + case_index), case_index)
-        seen.add((case["primitive"], case["chunk"], (case_index // 12) % 2 == 0))
-    assert len(seen) == len(PRIMITIVES) * len(CHUNK_SIZES) * 2
+        seen.add(
+            (
+                case["primitive"],
+                case["chunk"],
+                case["shard_bits"],
+                (case_index // 24) % 2 == 0,
+            )
+        )
+    assert len(seen) == len(PRIMITIVES) * len(CHUNK_SIZES) * len(SHARD_BITS) * 2
