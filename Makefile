@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-diff bench-smoke bench-strict bench-check
+.PHONY: test test-fast test-diff bench-smoke bench-strict bench-check bench-serve
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,3 +26,8 @@ bench-strict:
 # no artifact writes) — what CI runs.
 bench-check:
 	$(PYTHON) benchmarks/perf_smoke.py --check-only
+
+# Serving-layer gate: coalesced-vs-solo demux equivalence at small sizes
+# (check-only, no timings enforced) — also part of CI.
+bench-serve:
+	$(PYTHON) benchmarks/perf_smoke.py --serve-only --check-only

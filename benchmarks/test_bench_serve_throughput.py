@@ -1,0 +1,23 @@
+"""Benchmark of the serving-layer throughput experiment.
+
+Replays a Zipf-skewed open-loop point-lookup stream through the
+micro-batching :class:`repro.serve.service.IndexService` at several
+``max_batch`` settings (1 = one-query-per-launch serving) and reports the
+measured throughput and p95 latency, with and without the result cache.
+"""
+
+import pytest
+
+from repro.bench.experiments import serve_throughput as experiment
+
+
+@pytest.mark.benchmark(group="serve")
+def test_serve_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    solo, *rest = result.series[0].y
+    assert max(rest) > solo, "micro-batching should beat one-query-per-launch"
+    print()
+    print(result.to_text())

@@ -37,6 +37,7 @@ from repro.core import (
     UpdatePolicy,
 )
 from repro.gpusim import CostModel, DeviceSpec, RTX_4090, WorkProfile
+from repro.serve import IndexService
 
 __version__ = "1.0.0"
 
@@ -46,6 +47,7 @@ __all__ = [
     "GpuBPlusTree",
     "GpuIndex",
     "GpuLsmTree",
+    "IndexService",
     "KeyDecomposition",
     "KeyMode",
     "MISS_SENTINEL",

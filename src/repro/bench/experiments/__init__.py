@@ -22,6 +22,7 @@ module                    paper result
 ``fig17_range``           Fig 17 — range lookups + NNLS cost split
 ``fig18_hardware``        Fig 18 / Table 8 — GPU generations
 ``ablation_builders``     extra — software-BVH builder / leaf size ablation
+``serve_throughput``      extra — serving layer: micro-batched vs solo launches
 ========================  =====================================================
 """
 
@@ -40,6 +41,7 @@ from repro.bench.experiments import (  # noqa: F401
     fig16_skew,
     fig17_range,
     fig18_hardware,
+    serve_throughput,
     table03_range_origin,
     table04_updates,
     table05_warps,
@@ -67,6 +69,7 @@ ALL_EXPERIMENTS = {
     "fig17": fig17_range,
     "fig18": fig18_hardware,
     "ablation": ablation_builders,
+    "serve": serve_throughput,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

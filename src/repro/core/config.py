@@ -152,6 +152,15 @@ class RXConfig:
     #: overrides this (its default ``"auto"`` defers to this config value,
     #: mirroring how ``point_trace_mode="auto"`` resolves the point mode).
     range_limit: int | None = None
+    #: serving-layer knobs (:mod:`repro.serve`): the micro-batching scheduler
+    #: closes a coalesced launch once it holds ``serve_max_batch`` queries or
+    #: the oldest pending request has waited ``serve_max_wait`` seconds of
+    #: stream time, whichever comes first.
+    serve_max_batch: int = 4096
+    serve_max_wait: float = 1e-3
+    #: capacity (entries) of the serving layer's epoch-keyed result cache;
+    #: 0 disables caching.
+    serve_cache_capacity: int = 4096
 
     def validate(self) -> None:
         """Reject configurations the hardware (or float32) cannot express."""
@@ -213,6 +222,19 @@ class RXConfig:
         if self.range_limit is not None and self.range_limit < 1:
             raise ValueError(
                 f"range_limit must be at least 1 (or None), got {self.range_limit}"
+            )
+        if self.serve_max_batch < 1:
+            raise ValueError(
+                f"serve_max_batch must be at least 1, got {self.serve_max_batch}"
+            )
+        if self.serve_max_wait < 0:
+            raise ValueError(
+                f"serve_max_wait must be non-negative, got {self.serve_max_wait}"
+            )
+        if self.serve_cache_capacity < 0:
+            raise ValueError(
+                "serve_cache_capacity must be non-negative (0 disables), "
+                f"got {self.serve_cache_capacity}"
             )
 
     def with_updates_enabled(self) -> "RXConfig":

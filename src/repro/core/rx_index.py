@@ -113,6 +113,10 @@ class RXIndex(GpuIndex):
         self._accel = None
         self._pipeline: Pipeline | None = None
         self._primitive_handle: int | None = None
+        #: Monotonically increasing accel-state counter: -1 before the first
+        #: build, bumped by every build() and update() that swaps in a new
+        #: accel state.  The serving layer's epoch snapshots key on it.
+        self.epoch: int = -1
         #: True when the indexed column holds no duplicate keys; decides the
         #: "auto" point-lookup trace mode (any-hit termination is only
         #: result-preserving when every query has at most one match).
@@ -184,6 +188,7 @@ class RXIndex(GpuIndex):
         self._primitive_handle = None
 
         self._pipeline = Pipeline(self.context, self._accel, max_frontier=self.max_frontier)
+        self.epoch += 1
         bvh = self._accel.bvh
         memory = self.memory_footprint()
         self._build_result = BuildResult(
@@ -220,6 +225,16 @@ class RXIndex(GpuIndex):
         if self._pipeline is None:
             raise RuntimeError("RXIndex.build() must be called before lookups")
         return self._pipeline
+
+    @property
+    def pipeline(self) -> Pipeline:
+        """The pipeline bound to the current accel state (built index only).
+
+        Each build/update binds a *new* pipeline object, so holding on to
+        this reference pins one accel epoch — the serving layer's epoch
+        snapshots rely on exactly that.
+        """
+        return self._require_built()
 
     def _run_to_lookup(self, launch, num_lookups: int, kind: str) -> LookupRun:
         hits = launch.hits
@@ -267,6 +282,10 @@ class RXIndex(GpuIndex):
         if self._keys_unique is None:
             self._keys_unique = bool(np.unique(self.keys).size == self.num_keys)
         return "any_hit" if self._keys_unique else "all"
+
+    def resolved_point_trace_mode(self) -> str:
+        """Public form of the resolved point trace mode (serving layer)."""
+        return self._point_trace_mode()
 
     def point_lookup(self, queries: np.ndarray) -> LookupRun:
         pipeline = self._require_built()
@@ -381,6 +400,7 @@ class RXIndex(GpuIndex):
             self._pipeline = Pipeline(
                 self.context, self._accel, max_frontier=self.max_frontier
             )
+            self.epoch += 1
             return UpdateOutcome(
                 policy=UpdatePolicy.DELTA_SHARD,
                 profiles=[self._delta_update_profile(delta)],
@@ -402,6 +422,7 @@ class RXIndex(GpuIndex):
         build_input = self._make_build_input(self.keys)
         refit = accel_update(self.context, self._accel, build_input)
         self._pipeline = Pipeline(self.context, self._accel, max_frontier=self.max_frontier)
+        self.epoch += 1
         profile = WorkProfile(
             name="RX refit",
             threads=self.num_keys,
@@ -469,6 +490,40 @@ class RXIndex(GpuIndex):
         if self._accel is None:
             raise RuntimeError("RXIndex.build() must be called first")
         return self._accel
+
+    def stats(self) -> dict:
+        """One-dict summary of the index's live state.
+
+        Bundles the column, epoch, shard and memory bookkeeping with the
+        pipeline's cumulative trace counters and the primitive buffer's
+        intersection-pack cache state — the summary the serving layer's
+        demo/driver prints.  Requires a built index.
+        """
+        accel = self.accel
+        memory = self.memory_footprint()
+        buffer = accel.build_input.primitive_buffer()
+        forest = accel.forest
+        return {
+            "num_keys": self.num_keys,
+            "epoch": self.epoch,
+            "key_mode": self.config.key_mode.value,
+            "primitive": self.config.primitive.value,
+            "builder": self.config.bvh_builder,
+            "update_policy": self.config.update_policy.value,
+            "bvh_nodes": accel.bvh.node_count,
+            "bvh_depth": accel.bvh.depth(),
+            "compacted": accel.compacted,
+            "shard_bits": self.config.shard_bits,
+            "shard_count": forest.non_empty_shards if forest is not None else 1,
+            "memory_final_bytes": memory.final_bytes,
+            "memory_build_peak_bytes": memory.build_peak_bytes,
+            "device_bytes_in_use": self.context.memory.current_bytes,
+            "device_bytes_peak": self.context.memory.peak_bytes,
+            "intersection_pack_warm": buffer.intersection_pack_warm,
+            "trace_counters": self._pipeline.engine.counters.as_dict()
+            if self._pipeline is not None
+            else {},
+        }
 
     def memory_footprint(self, target_keys: int | None = None) -> MemoryFootprint:
         n = self.num_keys if target_keys is None else target_keys

@@ -123,6 +123,11 @@ class PrimitiveBuffer:
     #: True when the per-primitive intersection test runs on the RT cores.
     hardware_intersection: bool = False
 
+    @property
+    def intersection_pack_warm(self) -> bool:
+        """Whether the SoA intersection-pack cache is currently built."""
+        return getattr(self, "_pack", None) is not None
+
     def __len__(self) -> int:  # pragma: no cover - abstract
         raise NotImplementedError
 

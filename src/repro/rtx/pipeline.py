@@ -245,6 +245,10 @@ class LaunchResult:
     counters: TraversalCounters
     num_lookups: int
     num_rays: int
+    #: per-group counters when the launch was traced with ``ray_groups``
+    #: (the serving layer's coalesced launches); None otherwise.  Entry ``g``
+    #: is bit-identical to the counters of a solo launch of group ``g``.
+    group_counters: list[TraversalCounters] | None = None
 
     def hits_per_lookup(self) -> np.ndarray:
         """Number of reported hits per originating lookup."""
@@ -298,6 +302,7 @@ class Pipeline:
         num_lookups: int | None = None,
         mode: str = "all",
         limit: int | None = None,
+        ray_groups: np.ndarray | None = None,
         **raygen_params,
     ) -> LaunchResult:
         """Launch the pipeline for a batch of rays.
@@ -309,7 +314,9 @@ class Pipeline:
         every intersection, ``"any_hit"`` terminates each ray at its first
         surviving hit, ``"first_k"`` stops each lookup after ``limit``
         surviving hits (``limit`` is required for, and only valid with, that
-        mode).
+        mode).  ``ray_groups`` (one group id per ray) additionally splits the
+        launch's counters per group — see
+        :meth:`repro.rtx.traversal.TraversalEngine.trace`.
         """
         if rays is None:
             if self.raygen is None:
@@ -318,11 +325,14 @@ class Pipeline:
         if num_lookups is None:
             num_lookups = int(rays.lookup_ids.max()) + 1 if len(rays) else 0
         self._engine.reset_counters()
-        hits = self._engine.trace(rays, any_hit=self.any_hit, mode=mode, limit=limit)
+        hits = self._engine.trace(
+            rays, any_hit=self.any_hit, mode=mode, limit=limit, ray_groups=ray_groups
+        )
         counters = self._engine.counters
         return LaunchResult(
             hits=hits,
             counters=counters,
             num_lookups=num_lookups,
             num_rays=len(rays),
+            group_counters=self._engine.group_counters,
         )

@@ -243,6 +243,96 @@ def _frontier_box_overlap(
     return result
 
 
+class _GroupCounterRecorder:
+    """Attributes one trace's counters to per-ray groups (serving demux).
+
+    The wavefront schedule interleaves the rays of a coalesced launch, but a
+    ray's survival and per-round (ray, node) pairs depend only on its own
+    geometry and its own budget owner, so every counter can be attributed to
+    the group that owns the ray.  The recorder accumulates, per group, the
+    same quantities ``TraversalCounters`` accumulates globally — including
+    ``traversal_rounds`` (rounds where the group still had frontier pairs)
+    and ``max_frontier_size`` (the group's own per-round peak) — yielding
+    counters bit-identical to tracing each group's rays in a solo launch.
+    """
+
+    def __init__(self, groups: np.ndarray, num_groups: int):
+        self.groups = groups
+        self.num_groups = num_groups
+        self.node_visits = np.zeros(num_groups, dtype=np.int64)
+        self.leaf_visits = np.zeros(num_groups, dtype=np.int64)
+        self.prim_tests = np.zeros(num_groups, dtype=np.int64)
+        self.budget_dropped = np.zeros(num_groups, dtype=np.int64)
+        self.rounds = np.zeros(num_groups, dtype=np.int64)
+        self.max_frontier = np.zeros(num_groups, dtype=np.int64)
+
+    def on_round(self, frontier_rays: np.ndarray) -> None:
+        counts = np.bincount(self.groups[frontier_rays], minlength=self.num_groups)
+        self.node_visits += counts
+        self.rounds += counts > 0
+        np.maximum(self.max_frontier, counts, out=self.max_frontier)
+
+    def on_leaves(self, leaf_rays: np.ndarray) -> None:
+        if leaf_rays.size:
+            self.leaf_visits += np.bincount(
+                self.groups[leaf_rays], minlength=self.num_groups
+            )
+
+    def on_prim_tests(self, pair_rays: np.ndarray) -> None:
+        if pair_rays.size:
+            self.prim_tests += np.bincount(
+                self.groups[pair_rays], minlength=self.num_groups
+            )
+
+    def on_budget_drops(self, dropped_rays: np.ndarray) -> None:
+        if dropped_rays.size:
+            self.budget_dropped += np.bincount(
+                self.groups[dropped_rays], minlength=self.num_groups
+            )
+
+    def finalize(
+        self,
+        ray_indices: np.ndarray,
+        node_bytes: int,
+        per_prim_bytes: int,
+        hardware: bool,
+    ) -> list[TraversalCounters]:
+        """Split the finished trace into one ``TraversalCounters`` per group."""
+        rays_per_group = np.bincount(self.groups, minlength=self.num_groups)
+        prim_hits = np.zeros(self.num_groups, dtype=np.int64)
+        rays_with_hits = np.zeros(self.num_groups, dtype=np.int64)
+        if ray_indices.size:
+            prim_hits = np.bincount(
+                self.groups[ray_indices], minlength=self.num_groups
+            )
+            rays_with_hits = np.bincount(
+                self.groups[np.unique(ray_indices)], minlength=self.num_groups
+            )
+        out = []
+        for g in range(self.num_groups):
+            prim_tests = int(self.prim_tests[g])
+            out.append(
+                TraversalCounters(
+                    rays=int(rays_per_group[g]),
+                    node_visits=int(self.node_visits[g]),
+                    leaf_visits=int(self.leaf_visits[g]),
+                    box_tests=int(self.node_visits[g]),
+                    prim_tests=prim_tests,
+                    prim_hits=int(prim_hits[g]),
+                    budget_dropped_hits=int(self.budget_dropped[g]),
+                    rays_with_hits=int(rays_with_hits[g]),
+                    rays_without_hits=int(rays_per_group[g] - rays_with_hits[g]),
+                    node_bytes_read=int(self.node_visits[g]) * node_bytes,
+                    prim_bytes_read=prim_tests * per_prim_bytes,
+                    hardware_intersection_tests=prim_tests if hardware else 0,
+                    software_intersection_calls=0 if hardware else prim_tests,
+                    max_frontier_size=int(self.max_frontier[g]),
+                    traversal_rounds=int(self.rounds[g]),
+                )
+            )
+        return out
+
+
 @dataclass
 class TraversalEngine:
     """Traces ray batches against a BVH over a primitive buffer."""
@@ -266,12 +356,22 @@ class TraversalEngine:
     #: counters are identical for every setting.  ``None`` disables slicing.
     max_frontier: int | None = None
     counters: TraversalCounters = field(default_factory=TraversalCounters)
+    #: Per-group counters of the most recent ``trace(..., ray_groups=...)``
+    #: call (None when the last trace did not request grouping).  Each entry
+    #: is bit-identical to the counters a solo launch of that group's rays
+    #: would produce — the demux contract of the serving layer.
+    group_counters: list[TraversalCounters] | None = field(default=None, repr=False)
 
     def reset_counters(self) -> None:
         self.counters = TraversalCounters()
 
     def trace(
-        self, rays: RayBatch, any_hit=None, mode: str = "all", limit: int | None = None
+        self,
+        rays: RayBatch,
+        any_hit=None,
+        mode: str = "all",
+        limit: int | None = None,
+        ray_groups: np.ndarray | None = None,
     ) -> HitRecords:
         """Trace all rays and return their (ray, primitive) intersections.
 
@@ -303,6 +403,15 @@ class TraversalEngine:
         eagerly per leaf chunk — it must be elementwise (decide each hit on
         its own), exactly like a real any-hit program.  ``limit`` is only
         meaningful with ``mode="first_k"``.
+
+        ``ray_groups`` optionally assigns every ray to a demux group (an
+        int array of group ids, one per ray).  After the trace,
+        ``self.group_counters`` holds one :class:`TraversalCounters` per
+        group, each bit-identical to what a solo trace of only that group's
+        rays would have produced — provided the groups do not share
+        early-exit budget owners (in ``first_k`` mode all rays of a lookup
+        must belong to one group).  Grouping does not change the traversal
+        or the global counters in any way.
         """
         if mode not in ("all", "any_hit", "first_k"):
             raise ValueError(
@@ -317,6 +426,19 @@ class TraversalEngine:
         elif limit is not None:
             raise ValueError(f"limit is only meaningful with mode='first_k', not {mode!r}")
         early_exit = mode != "all"
+        self.group_counters = None
+        recorder: _GroupCounterRecorder | None = None
+        if ray_groups is not None:
+            groups = np.asarray(ray_groups, dtype=np.int64).reshape(-1)
+            if groups.shape[0] != len(rays):
+                raise ValueError(
+                    f"ray_groups must assign one group per ray: got "
+                    f"{groups.shape[0]} groups for {len(rays)} rays"
+                )
+            if groups.size and int(groups.min()) < 0:
+                raise ValueError("ray_groups must be non-negative group ids")
+            num_groups = int(groups.max()) + 1 if groups.size else 0
+            recorder = _GroupCounterRecorder(groups, num_groups)
         counters = TraversalCounters()
         counters.rays = len(rays)
         bvh = self.bvh
@@ -381,6 +503,8 @@ class TraversalEngine:
                 counters.node_visits += fsize
                 counters.box_tests += fsize
                 counters.node_bytes_read += fsize * node_bytes
+                if recorder is not None:
+                    recorder.on_round(frontier_rays)
 
                 if chunk is None or fsize <= chunk:
                     overlap = _frontier_box_overlap(
@@ -406,12 +530,16 @@ class TraversalEngine:
                 leaf_rays = frontier_rays[is_leaf]
                 leaf_nodes = frontier_nodes[is_leaf]
                 counters.leaf_visits += int(leaf_rays.size)
+                if recorder is not None:
+                    recorder.on_leaves(leaf_rays)
                 terminated_this_round = False
                 if leaf_rays.size:
                     pair_rays, pair_prims = self._expand_leaf_pairs(leaf_rays, leaf_nodes)
                     npairs = int(pair_prims.size)
                     counters.prim_tests += npairs
                     counters.prim_bytes_read += npairs * per_prim_bytes
+                    if recorder is not None:
+                        recorder.on_prim_tests(pair_rays)
                     if self.primitives.hardware_intersection:
                         counters.hardware_intersection_tests += npairs
                     else:
@@ -456,6 +584,8 @@ class TraversalEngine:
                                 counters.budget_dropped_hits += int(
                                     own.shape[0] - np.count_nonzero(keep)
                                 )
+                                if recorder is not None:
+                                    recorder.on_budget_drops(sub_hit_rays[~keep])
                                 sub_hit_rays = sub_hit_rays[keep]
                                 sub_hit_prims = sub_hit_prims[keep]
                                 if exhausted:
@@ -515,6 +645,13 @@ class TraversalEngine:
         counters.rays_with_hits = int(rays_hit)
         counters.rays_without_hits = int(n_rays - rays_hit)
 
+        if recorder is not None:
+            self.group_counters = recorder.finalize(
+                ray_indices,
+                node_bytes,
+                per_prim_bytes,
+                self.primitives.hardware_intersection,
+            )
         self.counters.merge(counters)
         return HitRecords(
             ray_indices=ray_indices,

@@ -1,0 +1,40 @@
+"""Concurrent query-serving layer over the RX index.
+
+Turns streams of small, independent point/range lookups into the large
+coalesced launches the engine is fast at, without changing a single result
+bit:
+
+* :mod:`repro.serve.scheduler` — micro-batching scheduler: coalesce by
+  launch class, demux hits + counters bit-identically to solo launches.
+* :mod:`repro.serve.snapshot` — epoch snapshots: every in-flight batch is
+  pinned to an immutable accel state, updates swap in atomically.
+* :mod:`repro.serve.cache` — epoch-keyed result cache with skew-aware
+  (sampled-LFU) eviction, invalidated by epoch advance.
+* :mod:`repro.serve.service` — the front end: submission, flushing, update
+  coordination, and open/closed-loop replay drivers with latency stats.
+"""
+
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.scheduler import (
+    LaunchClass,
+    MicroBatchScheduler,
+    RequestResult,
+    SchedulerStats,
+    ServeRequest,
+)
+from repro.serve.service import IndexService, ReplayReport
+from repro.serve.snapshot import EpochManager, EpochSnapshot
+
+__all__ = [
+    "CacheStats",
+    "EpochManager",
+    "EpochSnapshot",
+    "IndexService",
+    "LaunchClass",
+    "MicroBatchScheduler",
+    "ReplayReport",
+    "RequestResult",
+    "SchedulerStats",
+    "ServeRequest",
+    "ResultCache",
+]

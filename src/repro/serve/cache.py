@@ -1,0 +1,133 @@
+"""Epoch-keyed result cache for the serving layer.
+
+Trace results are deterministic given an accel epoch: the same (mode, query)
+pair against the same epoch always reports the same hits and counters.  That
+makes them cacheable with a key of ``(epoch, launch class, query bytes)`` —
+and trivially invalidatable: advancing the epoch orphans every older entry,
+which :meth:`ResultCache.invalidate_before` drops in one sweep (the epoch
+manager calls it on every advance).
+
+Eviction is *skew-aware*: the serving workloads are Zipf-distributed, so a
+small set of hot queries accounts for most of the traffic.  A plain LRU
+would let one burst of cold queries wash the hot set out; instead the cache
+keeps a per-entry hit-frequency and, when full, samples the ``sample_size``
+least-recently-used entries and evicts the one with the *lowest frequency*
+(ties fall to the least recently used).  Hot entries accumulate frequency
+and survive cold scans — the approximated-LFU ("Redis LFU"/TinyLFU) design
+— while everything stays deterministic: no randomness, insertion order
+breaks ties.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+class _Entry:
+    __slots__ = ("value", "frequency")
+
+    def __init__(self, value):
+        self.value = value
+        self.frequency = 1
+
+
+class ResultCache:
+    """Bounded (epoch, class, query) -> result cache with LFU-sampled LRU."""
+
+    def __init__(self, capacity: int, sample_size: int = 8):
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        if sample_size < 1:
+            raise ValueError(f"sample_size must be at least 1, got {sample_size}")
+        self.capacity = int(capacity)
+        self.sample_size = int(sample_size)
+        self.stats = CacheStats()
+        #: insertion/recency order: oldest first (OrderedDict is the LRU list)
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    @staticmethod
+    def key_for(epoch: int, klass, payload: tuple) -> tuple:
+        """Cache key of a request: its epoch, launch class and query bytes."""
+        return (epoch, klass, payload)
+
+    def get(self, key: tuple):
+        """Return the cached value or None; a hit refreshes recency+frequency."""
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        entry.frequency += 1
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.value
+
+    def put(self, key: tuple, value) -> None:
+        if not self.enabled:
+            return
+        if key in self._entries:
+            # Refresh in place (the value is identical by determinism).
+            self._entries.move_to_end(key)
+            return
+        if len(self._entries) >= self.capacity:
+            self._evict_one()
+        self._entries[key] = _Entry(value)
+        self.stats.insertions += 1
+
+    def _evict_one(self) -> None:
+        """Evict the lowest-frequency entry among the LRU-most ``sample_size``."""
+        victim = None
+        victim_freq = None
+        for i, (key, entry) in enumerate(self._entries.items()):
+            if i >= self.sample_size:
+                break
+            if victim is None or entry.frequency < victim_freq:
+                victim = key
+                victim_freq = entry.frequency
+        if victim is not None:
+            del self._entries[victim]
+            self.stats.evictions += 1
+
+    def invalidate_before(self, epoch: int) -> int:
+        """Drop every entry computed against an epoch older than ``epoch``."""
+        stale = [key for key in self._entries if key[0] < epoch]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)

@@ -1,0 +1,349 @@
+"""Micro-batching scheduler: coalesce independent lookups into large launches.
+
+The paper's core premise is that RT-core index probes only pay off when rays
+are launched in large batches against the immutable accel — a single point
+lookup wastes an entire pipeline launch.  The scheduler accepts many small,
+independent requests (one or a few point/range lookups each), coalesces them
+into launches bounded by ``max_batch`` queries / ``max_wait`` seconds of
+stream time, and demultiplexes the coalesced :class:`LaunchResult` back into
+per-request results.
+
+The demux is *bit-identical* to issuing every request as its own solo
+launch:
+
+* Ray generation is elementwise per query, and the 3D-mode range fan-out
+  orders rays contiguously per lookup, so generating rays for the
+  concatenated query array equals concatenating per-request ray batches.
+* The wavefront traversal advances every ray independently; early-exit
+  budget owners (rays in ``any_hit``, lookups in ``first_k``) never span
+  requests, so each ray's per-round frontier pairs — and hence its hits, in
+  stream order — equal its solo-launch ones.
+* Per-request counters come from the engine's ``ray_groups`` attribution
+  (:class:`repro.rtx.traversal.TraversalEngine`), which splits every counter
+  (including ``traversal_rounds`` and ``max_frontier_size``) by the group
+  that owns each ray.
+
+Requests only coalesce into one launch when they share a *launch class* —
+the (kind, trace mode, limit) triple — because a launch has a single trace
+mode and hit budget.  A flush may therefore issue several class launches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.results import (
+    aggregate_values,
+    first_row_per_lookup,
+    hits_per_lookup,
+)
+from repro.rtx.traversal import HitRecords, TraversalCounters
+
+
+@dataclass(frozen=True)
+class LaunchClass:
+    """What must match for two requests to share one coalesced launch."""
+
+    kind: str  #: "point" or "range"
+    mode: str  #: trace mode: "all", "any_hit" or "first_k"
+    limit: int | None = None  #: per-lookup hit budget (first_k only)
+
+
+@dataclass
+class ServeRequest:
+    """One client request: a small batch of point or range lookups."""
+
+    request_id: int
+    kind: str  #: "point" or "range"
+    queries: np.ndarray | None = None  #: point lookup keys
+    lowers: np.ndarray | None = None  #: range lower bounds (inclusive)
+    uppers: np.ndarray | None = None  #: range upper bounds (inclusive)
+    limit: int | None = None  #: resolved LIMIT-k budget (range only)
+    arrival: float = 0.0  #: stream-time arrival in seconds
+
+    def __post_init__(self) -> None:
+        if self.kind == "point":
+            if self.queries is None or self.queries.shape[0] == 0:
+                raise ValueError("a point request needs at least one query key")
+        elif self.kind == "range":
+            if self.lowers is None or self.uppers is None:
+                raise ValueError("a range request needs lower and upper bounds")
+            if self.lowers.shape != self.uppers.shape or self.lowers.shape[0] == 0:
+                raise ValueError(
+                    "range bounds must be equal-shaped and non-empty"
+                )
+        else:
+            raise ValueError(f"unknown request kind {self.kind!r}")
+
+    @property
+    def num_queries(self) -> int:
+        return int(
+            self.queries.shape[0] if self.kind == "point" else self.lowers.shape[0]
+        )
+
+    def cache_payload(self) -> tuple:
+        """Hashable identity of the request's queries (the cache key body)."""
+        if self.kind == "point":
+            return ("point", self.queries.tobytes())
+        return ("range", self.lowers.tobytes(), self.uppers.tobytes(), self.limit)
+
+
+@dataclass
+class RequestResult:
+    """One request's demuxed result, bit-identical to a solo launch."""
+
+    request_id: int
+    kind: str
+    epoch: int  #: accel epoch the result was computed against
+    hits: HitRecords  #: request-local hit records (ray/lookup ids rebased)
+    counters: TraversalCounters  #: request's exact share of the launch work
+    num_lookups: int
+    from_cache: bool = False
+    arrival: float = 0.0  #: stream time the request arrived
+    completion: float = 0.0  #: stream time the result was delivered
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.arrival
+
+    @property
+    def num_rays(self) -> int:
+        return self.hits.num_rays
+
+    def result_rows(self) -> np.ndarray:
+        """RowID of the first match per lookup (miss sentinel elsewhere)."""
+        return first_row_per_lookup(self.hits, self.num_lookups)
+
+    def hits_per_lookup(self) -> np.ndarray:
+        return hits_per_lookup(self.hits, self.num_lookups)
+
+    def aggregate(self, values: np.ndarray) -> int:
+        """Sum of ``values[rowID]`` over the matches (epoch-pinned column)."""
+        return aggregate_values(self.hits, values)
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing the scheduler's coalescing behaviour."""
+
+    requests: int = 0
+    queries: int = 0
+    launches: int = 0
+    launched_queries: int = 0
+    launched_rays: int = 0
+    batches: int = 0
+    max_batch_queries: int = 0
+    closed_by_size: int = 0
+    closed_by_wait: int = 0
+    closed_by_drain: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "queries": self.queries,
+            "launches": self.launches,
+            "launched_queries": self.launched_queries,
+            "launched_rays": self.launched_rays,
+            "batches": self.batches,
+            "queries_per_launch": self.launched_queries / max(self.launches, 1),
+            "max_batch_queries": self.max_batch_queries,
+            "closed_by_size": self.closed_by_size,
+            "closed_by_wait": self.closed_by_wait,
+            "closed_by_drain": self.closed_by_drain,
+        }
+
+
+class MicroBatchScheduler:
+    """Groups pending requests into coalesced launches and demuxes results.
+
+    The scheduler holds the batching *policy* (``max_batch`` queries per
+    launch window, ``max_wait`` seconds of stream time before a lone request
+    is flushed anyway) and the coalescing *mechanics*; the clock and the
+    epoch pinning live in :class:`repro.serve.service.IndexService`.
+    """
+
+    def __init__(self, max_batch: int, max_wait: float):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be at least 1, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be non-negative, got {max_wait}")
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        #: FIFO of queued requests; a deque so the per-window dequeue stays
+        #: O(window) even at 4096-query windows inside the timed flush path.
+        self.pending: deque[ServeRequest] = deque()
+        self.pending_queries = 0
+        self.stats = SchedulerStats()
+
+    # ------------------------------------------------------------------ #
+    # batching policy
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: ServeRequest) -> None:
+        self.pending.append(request)
+        self.pending_queries += request.num_queries
+        self.stats.requests += 1
+        self.stats.queries += request.num_queries
+
+    def deadline(self) -> float:
+        """Stream time at which the oldest pending request must flush."""
+        if not self.pending:
+            return float("inf")
+        return self.pending[0].arrival + self.max_wait
+
+    def ready(self, now: float) -> bool:
+        """Whether the pending window must flush at stream time ``now``."""
+        if not self.pending:
+            return False
+        return self.pending_queries >= self.max_batch or now >= self.deadline()
+
+    # ------------------------------------------------------------------ #
+    # coalescing + demux
+    # ------------------------------------------------------------------ #
+
+    def take_window(self) -> list[ServeRequest]:
+        """Dequeue whole requests FIFO up to ``max_batch`` queries (>= 1)."""
+        taken: list[ServeRequest] = []
+        count = 0
+        while self.pending:
+            nxt = self.pending[0].num_queries
+            if taken and count + nxt > self.max_batch:
+                break
+            taken.append(self.pending.popleft())
+            count += nxt
+        self.pending_queries -= count
+        return taken
+
+    def record_window(self, window: list[ServeRequest], reason: str) -> None:
+        """Account one closed batching window in the stats."""
+        self.stats.batches += 1
+        window_queries = sum(r.num_queries for r in window)
+        self.stats.max_batch_queries = max(
+            self.stats.max_batch_queries, window_queries
+        )
+        if reason == "size":
+            self.stats.closed_by_size += 1
+        elif reason == "wait":
+            self.stats.closed_by_wait += 1
+        else:
+            self.stats.closed_by_drain += 1
+
+    def class_of(self, request: ServeRequest, snapshot) -> LaunchClass:
+        """Launch class of ``request`` under ``snapshot``'s resolved modes.
+
+        Load-bearing in two places: it decides which requests may share a
+        coalesced launch, and it is part of the result-cache key.
+        """
+        if request.kind == "point":
+            return LaunchClass(kind="point", mode=snapshot.point_mode)
+        if request.limit is None:
+            return LaunchClass(kind="range", mode="all")
+        return LaunchClass(kind="range", mode="first_k", limit=request.limit)
+
+    def _launch_class(
+        self, klass: LaunchClass, requests: list[ServeRequest], snapshot
+    ) -> list[RequestResult]:
+        """Coalesce same-class requests into one launch and demux it."""
+        counts = np.array([r.num_queries for r in requests], dtype=np.int64)
+        starts = np.concatenate([[0], np.cumsum(counts)])
+        total = int(starts[-1])
+
+        if klass.kind == "point":
+            queries = np.concatenate([r.queries for r in requests])
+            rays = snapshot.codec.point_ray_batch(
+                queries, snapshot.config.point_ray_mode
+            )
+        else:
+            lowers = np.concatenate([r.lowers for r in requests])
+            uppers = np.concatenate([r.uppers for r in requests])
+            rays = snapshot.codec.range_ray_batch(
+                lowers,
+                uppers,
+                snapshot.config.range_ray_mode,
+                max_rays_per_range=snapshot.config.max_rays_per_range,
+            )
+        # Rays are contiguous per lookup and lookups contiguous per request,
+        # so the owning request of every ray is a searchsorted away.
+        ray_groups = np.searchsorted(starts, rays.lookup_ids, side="right") - 1
+        launch = snapshot.pipeline.launch(
+            rays,
+            num_lookups=total,
+            mode=klass.mode,
+            limit=klass.limit,
+            ray_groups=ray_groups,
+        )
+        self.stats.launches += 1
+        self.stats.launched_queries += total
+        self.stats.launched_rays += len(rays)
+
+        hits = launch.hits
+        # Group the flat hit stream by owning request with one stable sort;
+        # within each request the stream order is preserved — exactly the
+        # order a solo launch would have reported.
+        hit_groups = np.searchsorted(starts, hits.lookup_ids, side="right") - 1
+        order = np.argsort(hit_groups, kind="stable")
+        sorted_groups = hit_groups[order]
+        group_range = np.arange(len(requests), dtype=sorted_groups.dtype)
+        lo = np.searchsorted(sorted_groups, group_range, side="left")
+        hi = np.searchsorted(sorted_groups, group_range, side="right")
+        ray_starts = np.searchsorted(rays.lookup_ids, starts[:-1], side="left")
+        ray_ends = np.searchsorted(rays.lookup_ids, starts[1:], side="left")
+
+        results = []
+        for i, request in enumerate(requests):
+            sel = order[lo[i] : hi[i]]
+            sel.sort()  # back to stream order within the request
+            local = HitRecords(
+                ray_indices=hits.ray_indices[sel] - ray_starts[i],
+                prim_indices=hits.prim_indices[sel],
+                lookup_ids=hits.lookup_ids[sel] - starts[i],
+                num_rays=int(ray_ends[i] - ray_starts[i]),
+            )
+            results.append(
+                RequestResult(
+                    request_id=request.request_id,
+                    kind=request.kind,
+                    epoch=snapshot.epoch,
+                    hits=local,
+                    counters=launch.group_counters[i],
+                    num_lookups=request.num_queries,
+                    arrival=request.arrival,
+                )
+            )
+        return results
+
+    def launch_window(
+        self, window: list[ServeRequest], snapshot
+    ) -> list[RequestResult]:
+        """Coalesce ``window`` into per-class launches and demux the results.
+
+        Results come back in request order.  Requests of different launch
+        classes cannot share a launch (one trace mode / hit budget per
+        launch), so a mixed window issues one launch per class.
+        """
+        by_class: dict[LaunchClass, list[ServeRequest]] = {}
+        for request in window:
+            by_class.setdefault(self.class_of(request, snapshot), []).append(request)
+
+        results: dict[int, RequestResult] = {}
+        for klass, requests in by_class.items():
+            for result in self._launch_class(klass, requests, snapshot):
+                results[result.request_id] = result
+        return [results[r.request_id] for r in window]
+
+    def flush(self, snapshot, reason: str = "size") -> list[RequestResult]:
+        """Take one batching window, launch it against ``snapshot``, demux.
+
+        ``reason`` records why the window closed (``"size"``, ``"wait"`` or
+        ``"drain"``).  The cache-aware path lives in
+        :class:`repro.serve.service.IndexService`, which takes the window
+        itself and only launches the cache misses.
+        """
+        window = self.take_window()
+        if not window:
+            return []
+        self.record_window(window, reason)
+        return self.launch_window(window, snapshot)

@@ -1,0 +1,401 @@
+"""The index-serving front end: clock, epoch pinning, cache, replay drivers.
+
+:class:`IndexService` ties the serving pieces together around one
+:class:`repro.core.rx_index.RXIndex`:
+
+* requests are submitted with stream-time arrival stamps and queued in the
+  :class:`repro.serve.scheduler.MicroBatchScheduler`;
+* the first request of an empty queue *opens a batching window* and pins the
+  epoch snapshot that is current at that moment — an ``update()`` landing
+  before the flush builds the next epoch on the side, and the in-flight
+  window still launches against its pinned, immutable state;
+* at flush time each request is first looked up in the epoch-keyed
+  :class:`repro.serve.cache.ResultCache`; only the misses are coalesced into
+  launches, and their demuxed results are inserted back (current-epoch
+  results only, so an invalidation sweep can never be undone).
+
+Two replay drivers turn timestamped query streams into throughput/latency
+reports.  Both are event-driven simulations whose *service times* are the
+measured wall-clock of the actual coalesced launches and whose *arrival
+times* come from the stream — the standard way to replay an open-loop trace
+against a real component:
+
+* :meth:`IndexService.replay` — open loop: arrivals are fixed in advance;
+  a window closes when it holds ``max_batch`` queries (size) or the oldest
+  request has waited ``max_wait`` stream seconds (wait).
+* :meth:`IndexService.replay_closed_loop` — closed loop: ``num_clients``
+  logical clients each submit their next query the moment their previous
+  one completes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.rx_index import RXIndex
+from repro.serve.cache import ResultCache
+from repro.serve.scheduler import MicroBatchScheduler, RequestResult, ServeRequest
+from repro.serve.snapshot import EpochManager, EpochSnapshot
+
+
+@dataclass
+class ReplayReport:
+    """Throughput/latency summary of one replayed query stream."""
+
+    results: list[RequestResult]
+    #: per-request latency in stream seconds (completion - arrival)
+    latencies: np.ndarray
+    #: end-to-end stream time from first arrival to last completion
+    makespan: float
+    #: wall-clock seconds the launches themselves consumed
+    service_seconds: float
+    num_requests: int = 0
+    num_queries: int = 0
+
+    def __post_init__(self) -> None:
+        self.num_requests = len(self.results)
+        self.num_queries = int(sum(r.num_lookups for r in self.results))
+
+    @property
+    def throughput_rps(self) -> float:
+        """Sustained request throughput over the stream makespan."""
+        return self.num_requests / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def service_throughput_rps(self) -> float:
+        """Request throughput of the launch pipeline alone (no idle time)."""
+        return (
+            self.num_requests / self.service_seconds if self.service_seconds > 0 else 0.0
+        )
+
+    def latency_percentiles(self) -> dict:
+        if self.latencies.size == 0:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        p50, p95, p99 = np.percentile(self.latencies, [50.0, 95.0, 99.0])
+        return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+    def as_dict(self) -> dict:
+        return {
+            "num_requests": self.num_requests,
+            "num_queries": self.num_queries,
+            "makespan_seconds": self.makespan,
+            "service_seconds": self.service_seconds,
+            "throughput_rps": self.throughput_rps,
+            "service_throughput_rps": self.service_throughput_rps,
+            "latency_seconds": self.latency_percentiles(),
+        }
+
+
+class IndexService:
+    """Concurrent query-serving layer over one built :class:`RXIndex`."""
+
+    def __init__(
+        self,
+        index: RXIndex,
+        max_batch: int | None = None,
+        max_wait: float | None = None,
+        cache_capacity: int | None = None,
+    ):
+        config = index.config
+        self.index = index
+        self.scheduler = MicroBatchScheduler(
+            max_batch=max_batch if max_batch is not None else config.serve_max_batch,
+            max_wait=max_wait if max_wait is not None else config.serve_max_wait,
+        )
+        self.cache = ResultCache(
+            cache_capacity
+            if cache_capacity is not None
+            else config.serve_cache_capacity
+        )
+        self.epochs = EpochManager(index)
+        self.epochs.add_listener(self.cache.invalidate_before)
+        self._next_request_id = 0
+        self._window_snapshot: EpochSnapshot | None = None
+        self._service_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+
+    def _admit(self, request: ServeRequest) -> ServeRequest:
+        if self._window_snapshot is None:
+            # First request of a new window: pin the epoch it will run on.
+            self._window_snapshot = self.epochs.pin(self.epochs.current())
+        self.scheduler.submit(request)
+        return request
+
+    def submit_point(self, queries: np.ndarray, arrival: float = 0.0) -> ServeRequest:
+        """Queue one point-lookup request (one or a few query keys)."""
+        self._next_request_id += 1
+        return self._admit(
+            ServeRequest(
+                request_id=self._next_request_id,
+                kind="point",
+                queries=np.ascontiguousarray(queries, dtype=np.uint64),
+                arrival=float(arrival),
+            )
+        )
+
+    def submit_range(
+        self,
+        lowers: np.ndarray,
+        uppers: np.ndarray,
+        limit="auto",
+        arrival: float = 0.0,
+    ) -> ServeRequest:
+        """Queue one range-lookup request, optionally with LIMIT-k pushdown."""
+        if isinstance(limit, str):
+            if limit != "auto":
+                raise ValueError(
+                    f"limit must be an int, None or 'auto', got {limit!r}"
+                )
+            limit = self.index.config.range_limit
+        if limit is not None:
+            limit = int(limit)
+            if limit < 1:
+                raise ValueError(f"limit must be at least 1, got {limit}")
+        self._next_request_id += 1
+        return self._admit(
+            ServeRequest(
+                request_id=self._next_request_id,
+                kind="range",
+                lowers=np.ascontiguousarray(lowers, dtype=np.uint64),
+                uppers=np.ascontiguousarray(uppers, dtype=np.uint64),
+                limit=limit,
+                arrival=float(arrival),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def update(self, new_keys: np.ndarray, new_values: np.ndarray | None = None):
+        """Apply an index update; in-flight windows keep their pinned epoch.
+
+        The new epoch becomes visible to the *next* window (and invalidates
+        the cache's older entries); the currently open window still launches
+        against the snapshot pinned when it opened.
+        """
+        outcome = self.index.update(new_keys, new_values)
+        self.epochs.current()  # observe the new epoch, sweep the cache
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # flushing
+    # ------------------------------------------------------------------ #
+
+    def _flush_window(self, reason: str) -> list[RequestResult]:
+        snapshot = self._window_snapshot
+        if snapshot is None:
+            return []
+        window = self.scheduler.take_window()
+        if not window:
+            return []
+        self.scheduler.record_window(window, reason)
+        # Only current-epoch results may (re-)enter the cache: results of a
+        # pinned-but-superseded epoch would outlive their invalidation sweep.
+        cache_insert = self.cache.enabled and snapshot.epoch == self.index.epoch
+        served: dict[int, RequestResult] = {}
+        misses: list[tuple[ServeRequest, tuple | None]] = []
+        if self.cache.enabled:
+            for request in window:
+                key = ResultCache.key_for(
+                    snapshot.epoch,
+                    self.scheduler.class_of(request, snapshot),
+                    request.cache_payload(),
+                )
+                cached = self.cache.get(key)
+                if cached is not None:
+                    served[request.request_id] = replace(
+                        cached,
+                        request_id=request.request_id,
+                        arrival=request.arrival,
+                        from_cache=True,
+                    )
+                else:
+                    misses.append((request, key))
+        else:
+            # Disabled cache: skip the key construction entirely — this is
+            # the configuration the serving benchmarks time.
+            misses = [(request, None) for request in window]
+        if misses:
+            for result in self.scheduler.launch_window(
+                [request for request, _ in misses], snapshot
+            ):
+                served[result.request_id] = result
+            if cache_insert:
+                for request, key in misses:
+                    self.cache.put(key, served[request.request_id])
+
+        self.epochs.release(snapshot)
+        if self.scheduler.pending:
+            # Requests beyond the window boundary start the next window now.
+            self._window_snapshot = self.epochs.pin(self.epochs.current())
+        else:
+            self._window_snapshot = None
+        return [served[r.request_id] for r in window]
+
+    def pump(self, now: float) -> list[RequestResult]:
+        """Flush every window that is due at stream time ``now``."""
+        results: list[RequestResult] = []
+        while self.scheduler.ready(now):
+            reason = (
+                "size"
+                if self.scheduler.pending_queries >= self.scheduler.max_batch
+                else "wait"
+            )
+            results.extend(self._flush_window(reason))
+        return results
+
+    def drain(self) -> list[RequestResult]:
+        """Flush everything that is still pending, regardless of deadlines."""
+        results: list[RequestResult] = []
+        while self.scheduler.pending:
+            results.extend(self._flush_window("drain"))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # replay drivers
+    # ------------------------------------------------------------------ #
+
+    def _timed_flush(self, reason: str) -> tuple[list[RequestResult], float]:
+        start = time.perf_counter()
+        results = self._flush_window(reason)
+        elapsed = time.perf_counter() - start
+        self._service_seconds += elapsed
+        return results, elapsed
+
+    def replay(self, stream) -> ReplayReport:
+        """Open-loop replay: serve ``stream`` and report throughput/latency.
+
+        Arrival times come from the stream; service times are the measured
+        wall-clock of the coalesced launches.  A window closes by *size*
+        (``max_batch`` queries reached, launch at the closing arrival) or by
+        *wait* (the oldest request's ``max_wait`` deadline passes before the
+        next arrival, launch at the deadline); the launch itself additionally
+        queues behind the previous one (single launch server).
+        """
+        if self.scheduler.pending:
+            raise RuntimeError("replay() needs an idle service (pending queue)")
+        requests = stream.requests()
+        n = len(requests)
+        completed: list[RequestResult] = []
+        server_free = 0.0
+        first_arrival = requests[0][0] if n else 0.0
+        service_seconds_before = self._service_seconds
+
+        def launch(close_time: float, reason: str) -> None:
+            nonlocal server_free
+            start = max(close_time, server_free)
+            results, elapsed = self._timed_flush(reason)
+            server_free = start + elapsed
+            for result in results:
+                result.completion = server_free
+            completed.extend(results)
+
+        for arrival, submit in requests:
+            # Wait deadlines that expire before this arrival fire first.
+            while (
+                self.scheduler.pending and self.scheduler.deadline() < arrival
+            ):
+                launch(self.scheduler.deadline(), "wait")
+            submit(self, arrival)
+            while self.scheduler.pending_queries >= self.scheduler.max_batch:
+                launch(arrival, "size")
+        while self.scheduler.pending:
+            launch(self.scheduler.deadline(), "wait")
+
+        latencies = np.array([r.latency for r in completed], dtype=np.float64)
+        makespan = (
+            max((r.completion for r in completed), default=0.0) - first_arrival
+        )
+        return ReplayReport(
+            results=completed,
+            latencies=latencies,
+            makespan=makespan,
+            service_seconds=self._service_seconds - service_seconds_before,
+        )
+
+    def replay_closed_loop(self, stream, num_clients: int) -> ReplayReport:
+        """Closed-loop replay: ``num_clients`` clients, one query in flight each.
+
+        Every client submits its next request the moment its previous one
+        completes, so the offered load adapts to the service rate — the
+        standard closed-loop harness.  The stream's arrival stamps are
+        ignored; its requests are dealt to clients in order.
+        """
+        if num_clients < 1:
+            raise ValueError(f"num_clients must be at least 1, got {num_clients}")
+        if self.scheduler.pending:
+            raise RuntimeError(
+                "replay_closed_loop() needs an idle service (pending queue)"
+            )
+        requests = stream.requests()
+        completed: list[RequestResult] = []
+        server_free = 0.0
+        service_seconds_before = self._service_seconds
+        # Ready times of the idle clients (all start at stream time zero).
+        ready = [0.0] * min(num_clients, len(requests))
+        next_request = 0
+
+        while next_request < len(requests) or self.scheduler.pending:
+            # Every idle client submits its next request (earliest first)
+            # until the window fills or the stream runs dry.
+            while (
+                ready
+                and next_request < len(requests)
+                and self.scheduler.pending_queries < self.scheduler.max_batch
+            ):
+                ready.sort()
+                now = ready.pop(0)
+                _, submit = requests[next_request]
+                submit(self, now)
+                next_request += 1
+            if not self.scheduler.pending:
+                break
+            reason = (
+                "size"
+                if self.scheduler.pending_queries >= self.scheduler.max_batch
+                else "drain"
+            )
+            results, elapsed = self._timed_flush(reason)
+            # The window closes when its own last request was submitted
+            # (requests beyond the window boundary do not hold it open).
+            close_time = max((r.arrival for r in results), default=0.0)
+            start = max(close_time, server_free)
+            server_free = start + elapsed
+            for result in results:
+                result.completion = server_free
+                ready.append(server_free)  # the client turns around
+            completed.extend(results)
+
+        latencies = np.array([r.latency for r in completed], dtype=np.float64)
+        makespan = max((r.completion for r in completed), default=0.0)
+        return ReplayReport(
+            results=completed,
+            latencies=latencies,
+            makespan=makespan,
+            service_seconds=self._service_seconds - service_seconds_before,
+        )
+
+    # ------------------------------------------------------------------ #
+    # stats
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        """One dict: index summary + scheduler, cache and epoch counters."""
+        return {
+            "index": self.index.stats(),
+            "scheduler": self.scheduler.stats.as_dict(),
+            "cache": self.cache.stats.as_dict(),
+            "epochs": self.epochs.stats.as_dict(),
+            "serve_knobs": {
+                "max_batch": self.scheduler.max_batch,
+                "max_wait": self.scheduler.max_wait,
+                "cache_capacity": self.cache.capacity,
+            },
+        }

@@ -24,6 +24,12 @@ from repro.workloads.lookups import (
     split_batches,
     zipf_point_lookups,
 )
+from repro.workloads.streams import (
+    QueryStream,
+    StreamRequest,
+    zipf_point_stream,
+    zipf_range_stream,
+)
 from repro.workloads.table import SecondaryIndexWorkload
 from repro.workloads.updates import (
     clustered_key_swaps,
@@ -33,7 +39,9 @@ from repro.workloads.updates import (
 from repro.workloads.zipf import zipf_sample
 
 __all__ = [
+    "QueryStream",
     "SecondaryIndexWorkload",
+    "StreamRequest",
     "clustered_key_swaps",
     "dense_shuffled_keys",
     "keys_with_multiplicity",
@@ -49,5 +57,7 @@ __all__ = [
     "swap_adjacent_positions",
     "zipf_keys",
     "zipf_point_lookups",
+    "zipf_point_stream",
+    "zipf_range_stream",
     "zipf_sample",
 ]

@@ -36,7 +36,7 @@ SCALE = "tiny"
 
 
 def test_every_experiment_is_registered():
-    assert len(ALL_EXPERIMENTS) == 19
+    assert len(ALL_EXPERIMENTS) == 20
 
 
 def test_every_experiment_produces_text():

@@ -1,0 +1,152 @@
+"""Result-cache behaviour: counters, skew-aware eviction, epoch invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RXConfig
+from repro.core.rx_index import RXIndex
+from repro.serve import IndexService, ResultCache
+from repro.workloads import dense_shuffled_keys
+
+
+class TestResultCacheUnit:
+    def test_hit_miss_counters(self):
+        cache = ResultCache(capacity=4)
+        key = ResultCache.key_for(0, "k", ("point", b"q"))
+        assert cache.get(key) is None
+        cache.put(key, "value")
+        assert cache.get(key) == "value"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.insertions == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_capacity_bound_and_eviction(self):
+        cache = ResultCache(capacity=3, sample_size=3)
+        for i in range(5):
+            cache.put((0, "k", i), i)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 2
+
+    def test_skew_aware_eviction_keeps_hot_entries(self):
+        """A frequently-hit entry survives a scan of cold insertions that
+        would evict it under plain LRU."""
+        cache = ResultCache(capacity=4, sample_size=4)
+        hot = (0, "k", "hot")
+        cache.put(hot, "hot-value")
+        for _ in range(10):
+            assert cache.get(hot) == "hot-value"
+        for i in range(20):  # cold scan: 20 one-shot entries
+            cache.put((0, "k", f"cold-{i}"), i)
+        assert cache.get(hot) == "hot-value", "hot entry was washed out"
+
+    def test_eviction_is_deterministic(self):
+        def run():
+            cache = ResultCache(capacity=3, sample_size=2)
+            cache.put((0, "k", "a"), 1)
+            cache.put((0, "k", "b"), 2)
+            cache.get((0, "k", "a"))
+            cache.put((0, "k", "c"), 3)
+            cache.put((0, "k", "d"), 4)  # evicts the sampled-LFU victim
+            return sorted(k[2] for k in cache._entries)
+
+        assert run() == run() == ["a", "c", "d"]  # "b" (freq 1, oldest) evicted
+
+    def test_invalidate_before_drops_older_epochs(self):
+        cache = ResultCache(capacity=8)
+        for epoch in (0, 0, 1, 2):
+            cache.put((epoch, "k", f"q{epoch}-{len(cache)}"), epoch)
+        dropped = cache.invalidate_before(2)
+        assert dropped == 3
+        assert cache.stats.invalidations == 3
+        assert all(k[0] >= 2 for k in cache._entries)
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put((0, "k", "q"), 1)
+        assert cache.get((0, "k", "q")) is None
+        assert len(cache) == 0
+        assert not cache.enabled
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ResultCache(capacity=-1)
+        with pytest.raises(ValueError, match="sample_size"):
+            ResultCache(capacity=1, sample_size=0)
+
+
+class TestServiceCaching:
+    def make_service(self, cache_capacity=256):
+        keys = dense_shuffled_keys(1024, seed=31)
+        index = RXIndex(RXConfig.paper_default().with_delta_updates(shard_bits=4))
+        index.build(keys)
+        return keys, index, IndexService(
+            index, max_batch=64, max_wait=10.0, cache_capacity=cache_capacity
+        )
+
+    def test_cached_result_is_bit_identical(self):
+        keys, index, service = self.make_service()
+        queries = keys[:5]
+        service.submit_point(queries, arrival=0.0)
+        (fresh,) = service.drain()
+        assert not fresh.from_cache
+        service.submit_point(queries, arrival=1.0)
+        (cached,) = service.drain()
+        assert cached.from_cache
+        assert cached.epoch == fresh.epoch
+        assert np.array_equal(cached.result_rows(), fresh.result_rows())
+        assert np.array_equal(
+            cached.hits_per_lookup(), fresh.hits_per_lookup()
+        )
+        assert cached.counters.as_dict() == fresh.counters.as_dict()
+        stats = service.stats()
+        assert stats["cache"]["hits"] == 1
+        # The cached request reached no launch at all.
+        assert stats["scheduler"]["launches"] == 1
+
+    def test_epoch_advance_invalidates(self):
+        keys, index, service = self.make_service()
+        queries = keys[:5]
+        service.submit_point(queries, arrival=0.0)
+        (fresh,) = service.drain()
+        new_keys = keys.copy()
+        new_keys[:256] = new_keys[:256][::-1]
+        service.update(new_keys)
+        service.submit_point(queries, arrival=1.0)
+        (after,) = service.drain()
+        assert not after.from_cache, "stale epoch served from cache"
+        assert after.epoch == fresh.epoch + 1
+        assert service.stats()["cache"]["invalidations"] >= 1
+        # The fresh epoch's result must match a reference against new_keys.
+        reference = RXIndex(index.config)
+        reference.build(new_keys)
+        assert np.array_equal(
+            after.result_rows(), reference.point_lookup(queries).result_rows
+        )
+
+    def test_superseded_epoch_results_never_enter_cache(self):
+        """Results computed for a pinned old epoch stay out of the cache,
+        so an invalidation sweep cannot be undone."""
+        keys, index, service = self.make_service()
+        queries = keys[:5]
+        service.submit_point(queries, arrival=0.0)  # pins epoch 0
+        new_keys = keys.copy()
+        new_keys[:128] = new_keys[:128][::-1]
+        service.update(new_keys)  # epoch 1
+        (old_result,) = service.drain()  # computed against epoch 0
+        assert old_result.epoch == 0
+        assert service.stats()["cache"]["insertions"] == 0
+
+    def test_range_and_limit_have_distinct_cache_keys(self):
+        keys, index, service = self.make_service()
+        lo = np.array([int(keys.min())], dtype=np.uint64)
+        hi = lo + np.uint64(31)
+        service.submit_range(lo, hi, arrival=0.0)
+        service.submit_range(lo, hi, limit=2, arrival=0.0)
+        unlimited, limited = service.drain()
+        assert service.stats()["cache"]["hits"] == 0
+        assert unlimited.hits_per_lookup().sum() > limited.hits_per_lookup().sum()
+        service.submit_range(lo, hi, limit=2, arrival=1.0)
+        (again,) = service.drain()
+        assert again.from_cache
+        assert np.array_equal(again.result_rows(), limited.result_rows())

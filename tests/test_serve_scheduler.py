@@ -1,0 +1,242 @@
+"""Differential tests of the micro-batching scheduler's coalesce/demux path.
+
+The serving contract: demuxing a coalesced launch yields, for every request,
+hits *and* counters bit-identical to issuing that request as its own solo
+launch — across point lookups (all/any-hit), range lookups and LIMIT-k
+(first_k) range lookups.  The tests compare against solo launches through
+the same pipeline, so any divergence in ray generation, traversal order or
+counter attribution fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RXConfig
+from repro.core.rx_index import RXIndex
+from repro.serve.scheduler import LaunchClass, MicroBatchScheduler, ServeRequest
+from repro.serve.snapshot import EpochManager
+from repro.workloads import dense_shuffled_keys, keys_with_multiplicity
+
+
+def build_index(keys, **config_kwargs):
+    index = RXIndex(RXConfig(**config_kwargs))
+    index.build(keys)
+    return index
+
+
+def solo_launch(snapshot, request, klass):
+    """Reference: the request issued alone through the same pipeline."""
+    if klass.kind == "point":
+        rays = snapshot.codec.point_ray_batch(
+            request.queries, snapshot.config.point_ray_mode
+        )
+    else:
+        rays = snapshot.codec.range_ray_batch(
+            request.lowers,
+            request.uppers,
+            snapshot.config.range_ray_mode,
+            max_rays_per_range=snapshot.config.max_rays_per_range,
+        )
+    return snapshot.pipeline.launch(
+        rays, num_lookups=request.num_queries, mode=klass.mode, limit=klass.limit
+    )
+
+
+def assert_request_matches_solo(result, request, snapshot, klass):
+    solo = solo_launch(snapshot, request, klass)
+    assert np.array_equal(result.hits.ray_indices, solo.hits.ray_indices)
+    assert np.array_equal(result.hits.prim_indices, solo.hits.prim_indices)
+    assert np.array_equal(result.hits.lookup_ids, solo.hits.lookup_ids)
+    assert result.hits.num_rays == solo.hits.num_rays
+    assert result.counters.as_dict() == solo.counters.as_dict()
+
+
+def make_point_requests(rng, keys, num_requests, max_queries=5):
+    requests = []
+    for i in range(num_requests):
+        n = int(rng.integers(1, max_queries + 1))
+        picks = rng.integers(0, keys.shape[0], size=n)
+        requests.append(
+            ServeRequest(request_id=i + 1, kind="point", queries=keys[picks])
+        )
+    return requests
+
+
+def make_range_requests(rng, keys, num_requests, span, limit=None, start_id=1000):
+    requests = []
+    top = int(keys.max())
+    for i in range(num_requests):
+        lo = np.uint64(min(int(rng.integers(0, top)), top - span))
+        requests.append(
+            ServeRequest(
+                request_id=start_id + i,
+                kind="range",
+                lowers=np.array([lo], dtype=np.uint64),
+                uppers=np.array([lo + np.uint64(span - 1)], dtype=np.uint64),
+                limit=limit,
+            )
+        )
+    return requests
+
+
+class TestDemuxBitIdentity:
+    """Coalesced hits + counters must equal per-request solo launches."""
+
+    def test_point_any_hit(self):
+        rng = np.random.default_rng(1)
+        keys = dense_shuffled_keys(2048, seed=2)  # duplicate-free -> any_hit
+        index = build_index(keys)
+        snapshot = EpochManager(index).current()
+        assert snapshot.point_mode == "any_hit"
+        scheduler = MicroBatchScheduler(max_batch=10_000, max_wait=0.0)
+        requests = make_point_requests(rng, keys, 23)
+        for request in requests:
+            scheduler.submit(request)
+        results = scheduler.flush(snapshot)
+        assert [r.request_id for r in results] == [r.request_id for r in requests]
+        klass = LaunchClass(kind="point", mode="any_hit")
+        for result, request in zip(results, requests):
+            assert_request_matches_solo(result, request, snapshot, klass)
+
+    def test_point_all_mode_with_duplicates(self):
+        rng = np.random.default_rng(3)
+        keys = keys_with_multiplicity(1024, multiplicity=4, seed=4)
+        index = build_index(keys)
+        snapshot = EpochManager(index).current()
+        assert snapshot.point_mode == "all"
+        scheduler = MicroBatchScheduler(max_batch=10_000, max_wait=0.0)
+        requests = make_point_requests(rng, keys, 17)
+        for request in requests:
+            scheduler.submit(request)
+        results = scheduler.flush(snapshot)
+        klass = LaunchClass(kind="point", mode="all")
+        for result, request in zip(results, requests):
+            assert_request_matches_solo(result, request, snapshot, klass)
+
+    def test_range_all_hits(self):
+        rng = np.random.default_rng(5)
+        keys = dense_shuffled_keys(2048, seed=6)
+        index = build_index(keys)
+        snapshot = EpochManager(index).current()
+        scheduler = MicroBatchScheduler(max_batch=10_000, max_wait=0.0)
+        requests = make_range_requests(rng, keys, 19, span=24)
+        for request in requests:
+            scheduler.submit(request)
+        results = scheduler.flush(snapshot)
+        klass = LaunchClass(kind="range", mode="all")
+        for result, request in zip(results, requests):
+            assert_request_matches_solo(result, request, snapshot, klass)
+
+    def test_range_first_k(self):
+        rng = np.random.default_rng(7)
+        keys = dense_shuffled_keys(2048, seed=8)
+        index = build_index(keys)
+        snapshot = EpochManager(index).current()
+        scheduler = MicroBatchScheduler(max_batch=10_000, max_wait=0.0)
+        requests = make_range_requests(rng, keys, 15, span=32, limit=4)
+        for request in requests:
+            scheduler.submit(request)
+        results = scheduler.flush(snapshot)
+        klass = LaunchClass(kind="range", mode="first_k", limit=4)
+        for result, request in zip(results, requests):
+            assert_request_matches_solo(result, request, snapshot, klass)
+            assert result.hits_per_lookup().max() <= 4
+
+    def test_mixed_window_demuxes_every_class(self):
+        """One window holding all four classes: one launch per class, demux
+        still solo-identical, results in submission order."""
+        rng = np.random.default_rng(9)
+        keys = dense_shuffled_keys(2048, seed=10)
+        index = build_index(keys)
+        snapshot = EpochManager(index).current()
+        scheduler = MicroBatchScheduler(max_batch=10_000, max_wait=0.0)
+        points = make_point_requests(rng, keys, 6)
+        ranges = make_range_requests(rng, keys, 5, span=16, start_id=100)
+        limited = make_range_requests(rng, keys, 4, span=16, limit=2, start_id=200)
+        interleaved = []
+        for triple in zip(points, ranges, limited):
+            interleaved.extend(triple)
+        for request in interleaved:
+            scheduler.submit(request)
+        results = scheduler.flush(snapshot)
+        assert [r.request_id for r in results] == [r.request_id for r in interleaved]
+        assert scheduler.stats.launches == 3  # one per class
+        for result, request in zip(results, interleaved):
+            if request.kind == "point":
+                klass = LaunchClass(kind="point", mode=snapshot.point_mode)
+            elif request.limit is None:
+                klass = LaunchClass(kind="range", mode="all")
+            else:
+                klass = LaunchClass(kind="range", mode="first_k", limit=request.limit)
+            assert_request_matches_solo(result, request, snapshot, klass)
+
+
+class TestBatchingPolicy:
+    def test_window_respects_max_batch_but_never_splits_requests(self):
+        keys = dense_shuffled_keys(512, seed=11)
+        index = build_index(keys)
+        scheduler = MicroBatchScheduler(max_batch=8, max_wait=0.0)
+        sizes = [3, 3, 3, 9, 1]
+        for i, n in enumerate(sizes):
+            scheduler.submit(
+                ServeRequest(
+                    request_id=i + 1, kind="point", queries=keys[:n]
+                )
+            )
+        w1 = scheduler.take_window()
+        assert [r.request_id for r in w1] == [1, 2]  # 3+3, +3 would exceed 8
+        w2 = scheduler.take_window()
+        assert [r.request_id for r in w2] == [3]  # 3, +9 would exceed
+        w3 = scheduler.take_window()
+        assert [r.request_id for r in w3] == [4]  # oversized request goes alone
+        w4 = scheduler.take_window()
+        assert [r.request_id for r in w4] == [5]
+        assert scheduler.take_window() == []
+        assert scheduler.pending_queries == 0
+
+    def test_ready_by_size_and_wait(self):
+        keys = dense_shuffled_keys(256, seed=12)
+        scheduler = MicroBatchScheduler(max_batch=4, max_wait=0.5)
+        assert not scheduler.ready(now=100.0)
+        scheduler.submit(
+            ServeRequest(request_id=1, kind="point", queries=keys[:1], arrival=1.0)
+        )
+        assert not scheduler.ready(now=1.2)
+        assert scheduler.ready(now=1.5)  # wait deadline
+        scheduler.submit(
+            ServeRequest(request_id=2, kind="point", queries=keys[:3], arrival=1.1)
+        )
+        assert scheduler.ready(now=1.1)  # size bound reached
+
+    def test_invalid_requests_rejected(self):
+        with pytest.raises(ValueError, match="at least one query"):
+            ServeRequest(request_id=1, kind="point", queries=np.empty(0, np.uint64))
+        with pytest.raises(ValueError, match="unknown request kind"):
+            ServeRequest(request_id=1, kind="scan", queries=np.array([1], np.uint64))
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatchScheduler(max_batch=0, max_wait=0.0)
+        with pytest.raises(ValueError, match="max_wait"):
+            MicroBatchScheduler(max_batch=1, max_wait=-1.0)
+
+
+class TestEngineGroupValidation:
+    def test_ray_groups_shape_mismatch(self):
+        keys = dense_shuffled_keys(128, seed=13)
+        index = build_index(keys)
+        codec = index.codec
+        rays = codec.point_ray_batch(keys[:4], index.config.point_ray_mode)
+        with pytest.raises(ValueError, match="one group per ray"):
+            index.pipeline.engine.trace(rays, ray_groups=np.zeros(3, np.int64))
+        with pytest.raises(ValueError, match="non-negative"):
+            index.pipeline.engine.trace(rays, ray_groups=np.full(4, -1, np.int64))
+
+    def test_group_counters_reset_between_traces(self):
+        keys = dense_shuffled_keys(128, seed=14)
+        index = build_index(keys)
+        engine = index.pipeline.engine
+        rays = index.codec.point_ray_batch(keys[:4], index.config.point_ray_mode)
+        engine.trace(rays, ray_groups=np.zeros(4, np.int64))
+        assert engine.group_counters is not None
+        assert len(engine.group_counters) == 1
+        engine.trace(rays)
+        assert engine.group_counters is None

@@ -1,0 +1,239 @@
+"""IndexService drivers: open/closed-loop replay, stats, config knobs."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RXConfig
+from repro.core.rx_index import RXIndex
+from repro.serve import IndexService
+from repro.workloads import (
+    dense_shuffled_keys,
+    zipf_point_stream,
+    zipf_range_stream,
+)
+
+
+def make_index(num_keys=2048, seed=41, **config_kwargs):
+    index = RXIndex(RXConfig(**config_kwargs))
+    index.build(dense_shuffled_keys(num_keys, seed=seed))
+    return index
+
+
+class TestOpenLoopReplay:
+    def test_serves_every_request_once_with_latencies(self):
+        index = make_index()
+        service = IndexService(index, max_batch=64, max_wait=1e-3, cache_capacity=0)
+        stream = zipf_point_stream(index.keys, 300, 0.9, rate=1e5, seed=42)
+        report = service.replay(stream)
+        assert report.num_requests == 300
+        assert report.num_queries == 300
+        assert sorted(r.request_id for r in report.results) == list(range(1, 301))
+        assert (report.latencies >= 0.0).all()
+        assert report.makespan >= report.latencies.max()
+        percentiles = report.latency_percentiles()
+        assert percentiles["p50"] <= percentiles["p95"] <= percentiles["p99"]
+        assert report.throughput_rps > 0
+        assert service.stats()["scheduler"]["queries_per_launch"] > 1
+
+    def test_results_match_plain_lookups(self):
+        """End to end: replayed stream results equal RXIndex lookups."""
+        index = make_index(seed=43)
+        service = IndexService(index, max_batch=128, max_wait=1e-3, cache_capacity=64)
+        stream = zipf_point_stream(
+            index.keys, 200, 1.1, rate=1e6, queries_per_request=3, seed=44
+        )
+        report = service.replay(stream)
+        in_order = sorted(report.results, key=lambda r: r.request_id)
+        for entry, result in zip(stream.entries, in_order):
+            reference = index.point_lookup(entry.queries)
+            assert np.array_equal(result.result_rows(), reference.result_rows)
+            assert result.aggregate(index.values) == reference.aggregate
+
+    def test_slow_stream_closes_windows_by_wait(self):
+        index = make_index(seed=45)
+        service = IndexService(index, max_batch=10_000, max_wait=1e-4, cache_capacity=0)
+        # 1k requests/second with a 0.1 ms wait bound: every request times
+        # out alone before the next one arrives.
+        stream = zipf_point_stream(
+            index.keys, 20, 0.0, rate=1e3, seed=46, poisson=False
+        )
+        report = service.replay(stream)
+        stats = service.stats()["scheduler"]
+        assert stats["closed_by_wait"] == 20
+        assert stats["closed_by_size"] == 0
+        assert report.num_requests == 20
+
+    def test_fast_stream_closes_windows_by_size(self):
+        index = make_index(seed=47)
+        service = IndexService(index, max_batch=32, max_wait=10.0, cache_capacity=0)
+        stream = zipf_point_stream(index.keys, 128, 0.0, rate=1e9, seed=48)
+        service.replay(stream)
+        stats = service.stats()["scheduler"]
+        assert stats["closed_by_size"] == 4
+        assert stats["max_batch_queries"] == 32
+
+    def test_pump_flushes_due_windows_only(self):
+        """pump() is the interactive flush entry point: it honours both the
+        size and the wait trigger relative to the caller's clock."""
+        index = make_index(seed=44)
+        service = IndexService(index, max_batch=4, max_wait=1.0, cache_capacity=0)
+        service.submit_point(index.keys[:2], arrival=0.0)
+        assert service.pump(now=0.5) == []  # neither trigger due yet
+        results = service.pump(now=1.5)  # wait deadline passed
+        assert [r.request_id for r in results] == [1]
+        assert service.stats()["scheduler"]["closed_by_wait"] == 1
+        for arrival in (2.0, 2.1):
+            service.submit_point(index.keys[:2], arrival=arrival)
+        results = service.pump(now=2.1)  # 4 pending queries: size trigger
+        assert len(results) == 2
+        assert service.stats()["scheduler"]["closed_by_size"] == 1
+        assert not service.scheduler.pending
+
+    def test_replay_requires_idle_service(self):
+        index = make_index(seed=49)
+        service = IndexService(index, max_batch=8, max_wait=1.0, cache_capacity=0)
+        service.submit_point(index.keys[:2], arrival=0.0)
+        stream = zipf_point_stream(index.keys, 4, 0.0, rate=1e3, seed=50)
+        with pytest.raises(RuntimeError, match="idle"):
+            service.replay(stream)
+
+
+class TestClosedLoopReplay:
+    def test_serves_everything_and_adapts_to_clients(self):
+        index = make_index(seed=51)
+        service = IndexService(index, max_batch=64, max_wait=1.0, cache_capacity=0)
+        stream = zipf_point_stream(index.keys, 200, 0.5, rate=1e6, seed=52)
+        report = service.replay_closed_loop(stream, num_clients=16)
+        assert report.num_requests == 200
+        assert (report.latencies > 0.0).all()
+        stats = service.stats()["scheduler"]
+        # At most num_clients requests can ever be in flight together.
+        assert stats["max_batch_queries"] <= 16
+        assert stats["launches"] >= 200 // 16
+
+    def test_single_client_degenerates_to_serial(self):
+        index = make_index(seed=53)
+        service = IndexService(index, max_batch=64, max_wait=1.0, cache_capacity=0)
+        stream = zipf_point_stream(index.keys, 20, 0.0, rate=1e6, seed=54)
+        report = service.replay_closed_loop(stream, num_clients=1)
+        assert service.stats()["scheduler"]["launches"] == 20
+        assert report.num_requests == 20
+
+    def test_invalid_client_count(self):
+        index = make_index(seed=55)
+        service = IndexService(index, max_batch=4, max_wait=1.0, cache_capacity=0)
+        stream = zipf_point_stream(index.keys, 4, 0.0, rate=1e3, seed=56)
+        with pytest.raises(ValueError, match="num_clients"):
+            service.replay_closed_loop(stream, num_clients=0)
+
+
+class TestMixedStreams:
+    def test_point_and_range_streams_share_a_service(self):
+        index = make_index(seed=57)
+        service = IndexService(index, max_batch=256, max_wait=10.0, cache_capacity=0)
+        points = zipf_point_stream(index.keys, 40, 0.8, rate=1e6, seed=58)
+        ranges = zipf_range_stream(
+            index.keys, 30, 0.8, span=16, rate=1e6, limit=4, seed=59
+        )
+        for entry in points.entries + ranges.entries:
+            entry.submit(service, entry.arrival)
+        results = service.drain()
+        assert len(results) == 70
+        by_id = sorted(results, key=lambda r: r.request_id)
+        for entry, result in zip(points.entries + ranges.entries, by_id):
+            if entry.kind == "point":
+                reference = index.point_lookup(entry.queries)
+            else:
+                reference = index.range_lookup(entry.lowers, entry.uppers, limit=4)
+            assert np.array_equal(result.result_rows(), reference.result_rows)
+
+
+class TestStreamGenerators:
+    def test_streams_are_deterministic(self):
+        keys = dense_shuffled_keys(512, seed=61)
+        a = zipf_point_stream(keys, 50, 1.0, rate=1e4, seed=62)
+        b = zipf_point_stream(keys, 50, 1.0, rate=1e4, seed=62)
+        assert len(a) == len(b) == 50
+        for x, y in zip(a.entries, b.entries):
+            assert x.arrival == y.arrival
+            assert np.array_equal(x.queries, y.queries)
+
+    def test_arrivals_are_monotone_and_rate_scaled(self):
+        keys = dense_shuffled_keys(512, seed=63)
+        stream = zipf_point_stream(keys, 100, 0.0, rate=1e3, seed=64)
+        arrivals = np.array([e.arrival for e in stream.entries])
+        assert (np.diff(arrivals) >= 0).all()
+        # ~100 Poisson arrivals at 1k/s span roughly 0.1 s.
+        assert 0.01 < arrivals[-1] < 1.0
+
+    def test_zipf_skew_concentrates_queries(self):
+        keys = dense_shuffled_keys(512, seed=65)
+        skewed = zipf_point_stream(keys, 400, 2.0, rate=1e4, seed=66)
+        uniform = zipf_point_stream(keys, 400, 0.0, rate=1e4, seed=66)
+        def distinct(stream):
+            return np.unique(np.concatenate([e.queries for e in stream.entries])).size
+        assert distinct(skewed) < distinct(uniform) / 2
+
+    def test_range_stream_spans_and_limits(self):
+        keys = dense_shuffled_keys(512, seed=67)
+        stream = zipf_range_stream(keys, 30, 1.0, span=8, rate=1e4, limit=3, seed=68)
+        for entry in stream.entries:
+            assert entry.kind == "range"
+            assert int(entry.uppers[0] - entry.lowers[0]) == 7
+            assert entry.limit == 3
+        assert stream.num_queries == 30
+
+    def test_generator_validation(self):
+        keys = dense_shuffled_keys(64, seed=69)
+        with pytest.raises(ValueError, match="rate"):
+            zipf_point_stream(keys, 4, 0.0, rate=0.0)
+        with pytest.raises(ValueError, match="queries_per_request"):
+            zipf_point_stream(keys, 4, 0.0, rate=1.0, queries_per_request=0)
+        with pytest.raises(ValueError, match="span"):
+            zipf_range_stream(keys, 4, 0.0, span=0, rate=1.0)
+
+
+class TestStatsAndKnobs:
+    def test_index_stats_summary(self):
+        index = RXIndex(RXConfig.paper_default().with_delta_updates(shard_bits=4))
+        index.build(dense_shuffled_keys(1024, seed=71))
+        stats = index.stats()
+        assert stats["num_keys"] == 1024
+        assert stats["epoch"] == 0
+        assert stats["shard_bits"] == 4
+        assert stats["shard_count"] >= 1
+        assert stats["memory_final_bytes"] > 0
+        assert stats["trace_counters"]["rays"] == 0
+        index.point_lookup(index.keys[:16])
+        assert index.stats()["trace_counters"]["rays"] == 16
+        index.update(index.keys[::-1].copy())
+        assert index.stats()["epoch"] == 1
+
+    def test_stats_requires_built_index(self):
+        with pytest.raises(RuntimeError, match="build"):
+            RXIndex(RXConfig.paper_default()).stats()
+
+    def test_service_defaults_come_from_config(self):
+        config = RXConfig.paper_default()
+        config.serve_max_batch = 7
+        config.serve_max_wait = 0.25
+        config.serve_cache_capacity = 3
+        index = RXIndex(config)
+        index.build(dense_shuffled_keys(256, seed=72))
+        service = IndexService(index)
+        assert service.scheduler.max_batch == 7
+        assert service.scheduler.max_wait == 0.25
+        assert service.cache.capacity == 3
+        knobs = service.stats()["serve_knobs"]
+        assert knobs == {"max_batch": 7, "max_wait": 0.25, "cache_capacity": 3}
+
+    def test_serve_knob_validation(self):
+        for field, value in (
+            ("serve_max_batch", 0),
+            ("serve_max_wait", -1.0),
+            ("serve_cache_capacity", -1),
+        ):
+            config = RXConfig.paper_default()
+            setattr(config, field, value)
+            with pytest.raises(ValueError, match=field):
+                config.validate()

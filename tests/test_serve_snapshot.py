@@ -1,0 +1,189 @@
+"""Epoch snapshots under updates racing in-flight batches.
+
+The isolation contract: every batch's results match *exactly one* epoch — a
+reference run against the pre-update index or against the post-update index,
+never a mix — no matter how submissions and updates interleave.  The tests
+drive deterministic interleavings through :class:`repro.serve.IndexService`
+and compare each batch bit-for-bit against per-epoch reference indexes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RXConfig, UpdatePolicy
+from repro.core.rx_index import RXIndex
+from repro.serve import EpochManager, IndexService
+from repro.workloads import dense_shuffled_keys
+
+
+def delta_config():
+    return RXConfig.paper_default().with_delta_updates(shard_bits=4)
+
+
+def epoch_references(config, key_columns):
+    """One frozen reference index per epoch's key column."""
+    references = []
+    for keys in key_columns:
+        index = RXIndex(config)
+        index.build(keys)
+        references.append(index)
+    return references
+
+
+def epoch_of_batch(result, queries, references):
+    """Index of the unique epoch whose reference reproduces ``result``."""
+    matches = [
+        e
+        for e, reference in enumerate(references)
+        if np.array_equal(
+            result.result_rows(), reference.point_lookup(queries).result_rows
+        )
+    ]
+    assert len(matches) >= 1, "batch results match no epoch at all"
+    return matches
+
+
+def shifted(keys, lo, hi):
+    out = keys.copy()
+    out[lo:hi] = out[lo:hi][::-1]
+    return out
+
+
+class TestRacingUpdates:
+    @pytest.mark.parametrize("policy", ["delta", "rebuild"])
+    def test_update_racing_inflight_batch_is_isolated(self, policy):
+        """Submissions race one update; the open window stays on its epoch."""
+        keys0 = dense_shuffled_keys(2048, seed=21)
+        keys1 = shifted(keys0, 0, 700)
+        config = (
+            delta_config()
+            if policy == "delta"
+            else RXConfig.paper_default()
+        )
+        references = epoch_references(config, [keys0, keys1])
+        # Queries whose rowIDs differ between the epochs, so a mixed batch
+        # cannot masquerade as either reference.
+        queries = keys0[:64]
+        assert not np.array_equal(
+            references[0].point_lookup(queries).result_rows,
+            references[1].point_lookup(queries).result_rows,
+        )
+
+        index = RXIndex(config)
+        index.build(keys0)
+        service = IndexService(index, max_batch=4096, max_wait=10.0, cache_capacity=0)
+
+        service.submit_point(queries, arrival=0.0)  # window opens on epoch 0
+        service.update(keys1)  # racing update -> epoch 1 built on the side
+        service.submit_point(queries, arrival=0.1)  # joins the pinned window
+        in_flight = service.drain()
+
+        for result in in_flight:
+            assert result.epoch == 0
+            assert epoch_of_batch(result, queries, references) == [0]
+
+        service.submit_point(queries, arrival=0.2)  # next window
+        (after,) = service.drain()
+        assert after.epoch == 1
+        assert epoch_of_batch(after, queries, references) == [1]
+
+    def test_chained_updates_each_window_matches_one_epoch(self):
+        """Three epochs, windows interleaved with updates: every result
+        matches exactly its pinned epoch's reference run."""
+        keys0 = dense_shuffled_keys(1024, seed=22)
+        keys1 = shifted(keys0, 0, 400)
+        keys2 = shifted(keys1, 300, 900)
+        config = delta_config()
+        references = epoch_references(config, [keys0, keys1, keys2])
+        queries = keys0[::16]
+
+        index = RXIndex(config)
+        index.build(keys0)
+        service = IndexService(index, max_batch=4096, max_wait=10.0, cache_capacity=0)
+
+        observed = []
+        service.submit_point(queries, arrival=0.0)
+        service.update(keys1)
+        observed += service.drain()  # pinned to epoch 0
+        service.submit_point(queries, arrival=0.1)
+        service.update(keys2)
+        service.submit_point(queries, arrival=0.2)
+        observed += service.drain()  # pinned to epoch 1
+        service.submit_point(queries, arrival=0.3)
+        observed += service.drain()  # epoch 2
+
+        expected_epochs = [0, 1, 1, 2]
+        assert [r.epoch for r in observed] == expected_epochs
+        for result, epoch in zip(observed, expected_epochs):
+            matched = epoch_of_batch(result, queries, references)
+            assert epoch in matched
+            # The batch equals its pinned epoch bit-for-bit, including the
+            # aggregate over that epoch's value column.
+            reference = references[epoch].point_lookup(queries)
+            assert np.array_equal(result.result_rows(), reference.result_rows)
+            assert np.array_equal(result.hits_per_lookup(), reference.hits_per_lookup)
+            snapshot_values = references[epoch].values
+            assert result.aggregate(snapshot_values) == reference.aggregate
+
+    def test_window_boundary_repins_current_epoch(self):
+        """A flush that leaves requests pending re-pins the *current* epoch
+        for the next window."""
+        keys0 = dense_shuffled_keys(1024, seed=23)
+        keys1 = shifted(keys0, 0, 512)
+        config = delta_config()
+        references = epoch_references(config, [keys0, keys1])
+        queries = keys0[:8]
+
+        index = RXIndex(config)
+        index.build(keys0)
+        # max_batch of 8 queries: two 8-query requests span two windows.
+        service = IndexService(index, max_batch=8, max_wait=10.0, cache_capacity=0)
+        service.submit_point(queries, arrival=0.0)
+        service.submit_point(queries, arrival=0.1)
+        service.update(keys1)
+        results = service.drain()
+        assert [r.epoch for r in results] == [0, 1]
+        assert epoch_of_batch(results[0], queries, references) == [0]
+        assert epoch_of_batch(results[1], queries, references) == [1]
+
+
+class TestEpochManager:
+    def test_refit_policy_rejected(self):
+        keys = dense_shuffled_keys(256, seed=24)
+        index = RXIndex(RXConfig.paper_default().with_updates_enabled())
+        index.build(keys)
+        assert index.config.update_policy is UpdatePolicy.REFIT
+        with pytest.raises(ValueError, match="REBUILD or DELTA_SHARD"):
+            EpochManager(index)
+
+    def test_requires_built_index(self):
+        with pytest.raises(RuntimeError, match="build"):
+            EpochManager(RXIndex(RXConfig.paper_default()))
+
+    def test_pin_release_accounting(self):
+        keys = dense_shuffled_keys(256, seed=25)
+        index = RXIndex(delta_config())
+        index.build(keys)
+        manager = EpochManager(index)
+        snapshot = manager.pin(manager.current())
+        assert snapshot.pins == 1
+        manager.release(snapshot)
+        assert snapshot.pins == 0
+        with pytest.raises(ValueError, match="released more often"):
+            manager.release(snapshot)
+
+    def test_advance_notifies_listeners_and_retires(self):
+        keys = dense_shuffled_keys(256, seed=26)
+        index = RXIndex(delta_config())
+        index.build(keys)
+        manager = EpochManager(index)
+        seen = []
+        manager.add_listener(seen.append)
+        old = manager.pin(manager.current())
+        index.update(shifted(keys, 0, 128))
+        new = manager.current()
+        assert seen == [new.epoch]
+        assert new.epoch == old.epoch + 1
+        assert manager.stats.retired == 0  # old epoch still pinned
+        manager.release(old)
+        assert manager.stats.retired == 1
