@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-diff bench-smoke bench-strict bench-check bench-serve
+.PHONY: test test-fast test-diff test-faults bench-smoke bench-strict bench-check bench-serve bench-chaos
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,6 +15,11 @@ test-fast:
 # Differential trace harness only; honours DIFF_SEED (CI runs extra seeds).
 test-diff:
 	$(PYTHON) -m pytest -x -q tests/test_trace_differential.py
+
+# Fault-injection + snapshot-integrity harness only; honours FAULT_SEED
+# (CI runs extra seeds).
+test-faults:
+	$(PYTHON) -m pytest -x -q tests/test_serve_faults.py tests/test_serve_snapshot.py
 
 bench-smoke:
 	$(PYTHON) benchmarks/perf_smoke.py
@@ -31,3 +36,9 @@ bench-check:
 # (check-only, no timings enforced) — also part of CI.
 bench-serve:
 	$(PYTHON) benchmarks/perf_smoke.py --serve-only --check-only
+
+# Chaos gate: the serving stack replayed under a seeded fault schedule;
+# per-epoch bit-identity and explicit-outcome accounting asserted at small
+# sizes (check-only, no timings enforced) — also part of CI.
+bench-chaos:
+	$(PYTHON) benchmarks/perf_smoke.py --chaos-only --check-only

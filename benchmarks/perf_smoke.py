@@ -596,6 +596,180 @@ def bench_serve(
     return entry
 
 
+def bench_chaos_serve(
+    log2_keys: int,
+    log2_requests: int,
+    max_batch: int = 256,
+    zipf: float = 1.0,
+    error_budget: float = 0.05,
+    compare: bool = True,
+) -> dict:
+    """Serving under a seeded fault schedule vs the clean run (chaos bench).
+
+    Replays one deadline-annotated Zipf point-lookup stream twice through
+    :class:`repro.serve.service.IndexService` — once clean, once under a
+    :class:`repro.serve.faults.FaultInjector` schedule that guarantees at
+    least four distinct fault types fire (launch failure, launch latency,
+    cache unavailability/corruption, update-swap failure) while two
+    mid-stream index updates land (the first one faults and rolls back).
+
+    The correctness gate is absolute: every successful result of the chaos
+    run must be bit-identical to a reference lookup against the key column
+    of the epoch that served it, every submitted request must receive
+    exactly one explicit outcome, and the entry records
+    ``correctness_violations`` (asserted zero).  Goodput, p99 latency and
+    error-budget burn are recorded next to the clean run's numbers.
+    """
+    from repro.core.config import RXConfig
+    from repro.core.rx_index import RXIndex
+    from repro.serve import FaultInjector, FaultSpec, IndexService, RetryPolicy
+    from repro.workloads import dense_shuffled_keys, zipf_point_stream
+
+    num_requests = 2**log2_requests
+    keys0 = dense_shuffled_keys(2**log2_keys, seed=log2_keys)
+
+    def shifted(keys, lo, hi):
+        out = keys.copy()
+        out[lo:hi] = out[lo:hi][::-1]
+        return out
+
+    keys1 = shifted(keys0, 0, 2 ** (log2_keys - 1))
+    keys2 = shifted(keys1, 2 ** (log2_keys - 2), 2**log2_keys - 7)
+    config = RXConfig.paper_default().with_delta_updates(shard_bits=4)
+    deadline = 0.05
+    rate = float(2**log2_requests)  # ~1 second of stream time
+
+    def make_stream():
+        return zipf_point_stream(
+            keys0,
+            num_requests,
+            zipf,
+            rate=rate,
+            seed=log2_requests + 23,
+            deadline=deadline,
+        )
+
+    stream = make_stream()
+    arrivals = [e.arrival for e in stream.entries]
+    updates = [
+        (arrivals[len(arrivals) // 3], keys1),
+        (arrivals[2 * len(arrivals) // 3], keys2),
+    ]
+
+    def run(injector):
+        # Updates mutate the index, so each replay gets its own build.
+        index = RXIndex(config)
+        index.build(keys0)
+        service = IndexService(
+            index,
+            max_batch=max_batch,
+            max_wait=2e-3,
+            cache_capacity=max(num_requests // 8, 64),
+            max_queue=8 * max_batch,
+            retry=RetryPolicy(max_retries=3, jitter=0.0),
+            fault_injector=injector,
+        )
+        report = service.replay(make_stream(), updates=updates)
+        return service, report
+
+    injector = FaultInjector(
+        seed=log2_requests,
+        specs={
+            # Explicit occurrence schedules guarantee every fault type fires
+            # in a recorded run; the probabilities add seeded background
+            # noise on top.  Occurrences 1-4 of the launch site fail in a
+            # row, exhausting the 3-retry budget once (-> launch_failed
+            # errors); occurrence 3 of the latency site stalls past the
+            # request deadline, and the backlog the stall creates times out
+            # everything that arrives behind it (scheduled-only: one spike
+            # at 1024+ req/s already burns a visible slice of the budget).
+            "launch": FaultSpec(probability=0.02, at={1, 2, 3, 4}),
+            "launch_latency": FaultSpec(at={3}, latency=1.5 * deadline),
+            "cache": FaultSpec(probability=0.01, at={2}),
+            "cache_corrupt": FaultSpec(probability=0.02, at={0}),
+            "update": FaultSpec(at={0}),  # first update faults + rolls back
+        },
+    )
+    _, clean = run(None)
+    service, chaos = run(injector)
+
+    # The schedule must actually have exercised >= 4 distinct fault types.
+    fired = {site for site, count in injector.fired.items() if count > 0}
+    required = {"launch", "launch_latency", "cache", "update"}
+    assert required <= fired, f"fault schedule missed sites: {required - fired}"
+    # The schedule guarantees one retry exhaustion and one deadline blowout:
+    # failed requests must surface as explicit errors, never silent drops.
+    reasons = set(chaos.errors_by_reason())
+    assert {"launch_failed", "timeout"} <= reasons, f"missing errors: {reasons}"
+    # Explicit outcomes for every request: no silent drops, no hangs.
+    all_ids = sorted(
+        [r.request_id for r in chaos.results] + [f.request_id for f in chaos.errors]
+    )
+    assert all_ids == list(range(1, num_requests + 1)), "requests dropped silently"
+
+    violations = 0
+    if compare:
+        # Reconstruct each epoch's key column from the update log, then
+        # verify every success bit-identically against a per-epoch
+        # reference index (batched: one reference launch per epoch).
+        columns = {0: keys0}
+        content = keys0
+        for entry, new_keys in zip(chaos.updates, [keys1, keys2]):
+            if entry["failed"]:
+                columns[entry["epoch"] - 1] = new_keys  # never serves
+                columns[entry["epoch"]] = content
+            else:
+                content = new_keys
+                columns[entry["epoch"]] = content
+        by_epoch: dict[int, list] = {}
+        for result in chaos.results:
+            by_epoch.setdefault(result.epoch, []).append(result)
+        for epoch, group in by_epoch.items():
+            assert epoch in columns, f"epoch {epoch} served but never recorded"
+            reference = RXIndex(config)
+            reference.build(columns[epoch])
+            queries = np.concatenate(
+                [stream.entries[r.request_id - 1].queries for r in group]
+            )
+            expected = reference.point_lookup(queries).result_rows
+            got = np.concatenate([r.result_rows() for r in group])
+            violations += int(np.sum(expected != got))
+        assert violations == 0, f"{violations} correctness violations under faults"
+
+    resilience = service.stats()["resilience"]
+    clean_p = clean.latency_percentiles()
+    chaos_p = chaos.latency_percentiles()
+    entry = {
+        "path": "chaos_serve",
+        "log2_keys": log2_keys,
+        "log2_requests": log2_requests,
+        "max_batch": max_batch,
+        "zipf": zipf,
+        "deadline_seconds": deadline,
+        "new_seconds": chaos.service_seconds,
+        "new_seconds_p50": chaos.service_seconds,
+        "new_seconds_p95": chaos.service_seconds,
+        "timing_repeats": 1,
+        "ref_seconds": clean.service_seconds,
+        "goodput_rps": chaos.goodput_rps,
+        "clean_goodput_rps": clean.goodput_rps,
+        "latency_p50_seconds": chaos_p["p50"],
+        "latency_p99_seconds": chaos_p["p99"],
+        "clean_latency_p99_seconds": clean_p["p99"],
+        "error_rate": chaos.error_rate,
+        "clean_error_rate": clean.error_rate,
+        "error_budget": error_budget,
+        "error_budget_burn": chaos.error_rate / error_budget,
+        "errors_by_reason": chaos.errors_by_reason(),
+        "faults_fired": {site: n for site, n in injector.fired.items() if n},
+        "retries": resilience["retries"],
+        "degraded_flushes": resilience["degraded_flushes"],
+        "updates_rolled_back": resilience["updates_rolled_back"],
+        "correctness_violations": violations,
+    }
+    return entry
+
+
 def run_smoke(quick: bool = False) -> list[dict]:
     """Run the smoke sweep (2^14–2^18 keys) and return the result entries."""
     entries = []
@@ -634,6 +808,13 @@ def run_smoke(quick: bool = False) -> list[dict]:
         entries.append(bench_serve(12, 10, max_batch=256, solo_cap=256))
     else:
         entries.append(bench_serve(16, 16, max_batch=4096, solo_cap=4096))
+    # The same Zipf stream replayed under a seeded fault schedule (launch
+    # failures + latency, cache faults, one update rolled back), with every
+    # success verified bit-identical against its serving epoch.
+    if quick:
+        entries.append(bench_chaos_serve(12, 10, max_batch=256))
+    else:
+        entries.append(bench_chaos_serve(16, 13, max_batch=1024))
     return entries
 
 
@@ -743,6 +924,11 @@ def format_table(entries: list[dict]) -> str:
             config = f"{entry['kind']} 2^{entry['log2_pairs']} pairs"
         elif entry["path"] == "serve":
             config = f"2^{entry['log2_requests']} req b={entry['max_batch']}"
+        elif entry["path"] == "chaos_serve":
+            config = (
+                f"2^{entry['log2_requests']} req "
+                f"err={entry['error_rate']:.1%}"
+            )
         else:
             config = f"2^{entry['log2_keys']} keys"
         ref = entry.get("ref_seconds")
@@ -777,12 +963,25 @@ def main(argv: list[str] | None = None) -> int:
         "for the CI gate: small sizes, demux equivalence asserted, no "
         "timing thresholds or artifact writes)",
     )
+    parser.add_argument(
+        "--chaos-only",
+        action="store_true",
+        help="run only the fault-injection serving scenario (combine with "
+        "--check-only for the CI gate: small sizes, per-epoch bit-identity "
+        "and explicit-outcome accounting asserted, no artifact writes)",
+    )
     args = parser.parse_args(argv)
 
     if args.serve_only and args.check_only:
         entries = [bench_serve(12, 10, max_batch=256, solo_cap=256)]
         print(format_table(entries))
         print("\nserve equivalence checks passed (timings not enforced)")
+        return 0
+
+    if args.chaos_only and args.check_only:
+        entries = [bench_chaos_serve(12, 10, max_batch=256)]
+        print(format_table(entries))
+        print("\nchaos serve correctness checks passed (timings not enforced)")
         return 0
 
     if args.check_only:
@@ -798,6 +997,12 @@ def main(argv: list[str] | None = None) -> int:
             bench_serve(12, 10, max_batch=256, solo_cap=256)
             if args.quick
             else bench_serve(16, 16, max_batch=4096, solo_cap=4096)
+        ]
+    elif args.chaos_only:
+        entries = [
+            bench_chaos_serve(12, 10, max_batch=256)
+            if args.quick
+            else bench_chaos_serve(16, 13, max_batch=1024)
         ]
     else:
         entries = run_smoke(quick=args.quick)

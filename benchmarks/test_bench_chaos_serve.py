@@ -1,0 +1,26 @@
+"""Benchmark of the fault-injection serving experiment.
+
+Replays a deadline-annotated Zipf point-lookup stream through
+:class:`repro.serve.service.IndexService` at increasing per-site fault
+probabilities (0 = clean baseline) and reports goodput, error rate, p99
+latency and forced launch retries per intensity.
+"""
+
+import pytest
+
+from repro.bench.experiments import chaos_serve as experiment
+
+
+@pytest.mark.benchmark(group="serve")
+def test_chaos_serve(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale="tiny"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.series, "experiment produced no series"
+    errors = result.series_by_label("error rate").y
+    goodput = result.series_by_label("goodput").y
+    assert errors[0] == 0.0, "the clean baseline must be error-free"
+    assert errors[-1] > 0.0, "top fault intensity should surface explicit errors"
+    assert goodput[-1] < goodput[0], "faults should burn goodput"
+    print()
+    print(result.to_text())

@@ -23,11 +23,13 @@ module                    paper result
 ``fig18_hardware``        Fig 18 / Table 8 — GPU generations
 ``ablation_builders``     extra — software-BVH builder / leaf size ablation
 ``serve_throughput``      extra — serving layer: micro-batched vs solo launches
+``chaos_serve``           extra — serving goodput under injected faults
 ========================  =====================================================
 """
 
 from repro.bench.experiments import (  # noqa: F401
     ablation_builders,
+    chaos_serve,
     fig03_key_modes,
     fig06_ray_modes,
     fig07_primitives,
@@ -70,6 +72,7 @@ ALL_EXPERIMENTS = {
     "fig18": fig18_hardware,
     "ablation": ablation_builders,
     "serve": serve_throughput,
+    "chaos": chaos_serve,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

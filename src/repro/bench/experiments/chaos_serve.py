@@ -1,0 +1,113 @@
+"""Serving goodput under injected faults: error budget vs fault intensity.
+
+The serving-layer experiments so far measure the happy path.  This one
+sweeps a per-site fault probability across every injection seam of the
+stack — launch failures (retried with backoff), launch latency spikes
+(long enough to blow the request deadline), cache unavailability and
+cache corruption — and replays the same deadline-annotated Zipf stream
+through :class:`repro.serve.service.IndexService` at each intensity.
+
+Reported per intensity: goodput (successful requests per second of
+makespan), error rate against the request deadline, p99 latency of the
+successes, and how many launch retries the fault schedule forced.  The
+``0.0`` point is the clean baseline; everything is deterministic given
+the injector seed (up to host wall-clock jitter in the measured flush
+times).
+
+Like ``serve_throughput`` this reports *measured wall-clock* of the
+functional engine, not cost-model extrapolations; ``device`` is accepted
+for harness uniformity only.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult, ExperimentSeries, resolve_scale
+from repro.core import RXConfig, RXIndex
+from repro.gpusim.device import RTX_4090
+from repro.serve import FaultInjector, FaultSpec, IndexService, RetryPolicy
+from repro.workloads import dense_shuffled_keys, zipf_point_stream
+
+#: per-site fault probabilities swept by the experiment (0 = clean run)
+INTENSITIES = [0.0, 0.01, 0.05, 0.1]
+ZIPF_COEFFICIENT = 1.0
+#: per-request deadline; the injected latency spike equals it, so a
+#: stalled window (and the backlog behind it) reliably times out
+DEADLINE_SECONDS = 0.05
+
+
+def run(
+    scale: str = "small",
+    device=RTX_4090,
+    coefficient: float = ZIPF_COEFFICIENT,
+    intensities: list[float] | None = None,
+) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    if intensities is None:
+        intensities = INTENSITIES
+    keys = dense_shuffled_keys(scale.sim_keys, seed=193)
+    num_requests = scale.sim_lookups
+    rate = 4.0 * num_requests  # ~0.25 s of stream time per intensity
+
+    goodput: list[float] = []
+    error_pct: list[float] = []
+    p99_ms: list[float] = []
+    retries: list[float] = []
+    for intensity in intensities:
+        injector = None
+        if intensity > 0.0:
+            injector = FaultInjector(
+                seed=194,
+                specs={
+                    "launch": FaultSpec(probability=intensity),
+                    "launch_latency": FaultSpec(
+                        probability=intensity, latency=DEADLINE_SECONDS
+                    ),
+                    "cache": FaultSpec(probability=intensity),
+                    "cache_corrupt": FaultSpec(probability=intensity),
+                },
+            )
+        index = RXIndex(RXConfig.paper_default())
+        index.build(keys)
+        service = IndexService(
+            index,
+            max_batch=64,
+            max_wait=2e-3,
+            cache_capacity=max(num_requests // 8, 16),
+            deadline=DEADLINE_SECONDS,
+            retry=RetryPolicy(max_retries=3, jitter=0.0),
+            fault_injector=injector,
+        )
+        stream = zipf_point_stream(
+            keys, num_requests, coefficient, rate=rate, seed=195
+        )
+        report = service.replay(stream)
+        goodput.append(report.goodput_rps)
+        error_pct.append(100.0 * report.error_rate)
+        p99_ms.append(report.latency_percentiles()["p99"] * 1e3)
+        retries.append(float(service.stats()["resilience"]["retries"]))
+
+    series = [
+        ExperimentSeries(label="goodput", x=intensities, y=goodput, unit="req/s"),
+        ExperimentSeries(label="error rate", x=intensities, y=error_pct, unit="%"),
+        ExperimentSeries(label="p99 latency", x=intensities, y=p99_ms, unit="ms"),
+        ExperimentSeries(label="launch retries", x=intensities, y=retries, unit=""),
+    ]
+    return ExperimentResult(
+        experiment_id="chaos",
+        title=f"Serving goodput vs fault intensity (Zipf {coefficient})",
+        x_label="per-site fault probability",
+        series=series,
+        notes=(
+            "Measured wall-clock of the functional engine under seeded fault "
+            f"injection with a {DEADLINE_SECONDS * 1e3:.0f} ms request "
+            "deadline. Launch failures are retried with exponential backoff; "
+            "latency spikes equal to the deadline time out the stalled window "
+            "and the backlog behind it, so goodput degrades smoothly while "
+            "every served result stays bit-identical to the clean run "
+            f"(clean goodput {goodput[0]:.0f} req/s, at intensity "
+            f"{intensities[-1]} it is {goodput[-1]:.0f} req/s with "
+            f"{error_pct[-1]:.1f}% explicit errors)."
+        ),
+        scale=scale.name,
+        device=device.name,
+    )

@@ -15,6 +15,7 @@ every intersection to the any-hit program.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -276,6 +277,12 @@ class Pipeline:
     #: (ray, node) pairs materialised at once so huge launches stream in
     #: bounded-memory slices; counters and hits are identical either way.
     max_frontier: int | None = None
+    #: optional :class:`repro.serve.faults.FaultInjector` seam: when set,
+    #: every launch first consults the "launch" site (raising an injected
+    #: launch failure) and the "launch_latency" site (stalling the launch by
+    #: the injected delay).  The serving layer's epoch manager attaches this
+    #: when a service runs under fault injection; plain lookups leave it None.
+    fault_injector: object | None = None
 
     def __post_init__(self) -> None:
         self._engine = TraversalEngine(
@@ -318,6 +325,11 @@ class Pipeline:
         launch's counters per group — see
         :meth:`repro.rtx.traversal.TraversalEngine.trace`.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.check("launch")
+            stall = self.fault_injector.latency("launch_latency")
+            if stall > 0.0:
+                time.sleep(stall)
         if rays is None:
             if self.raygen is None:
                 raise ValueError("no rays given and no ray-generation program bound")

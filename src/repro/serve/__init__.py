@@ -12,9 +12,23 @@ bit:
   (sampled-LFU) eviction, invalidated by epoch advance.
 * :mod:`repro.serve.service` — the front end: submission, flushing, update
   coordination, and open/closed-loop replay drivers with latency stats.
+* :mod:`repro.serve.faults` — deterministic, seeded fault injection at every
+  seam of the stack (launches, cache, updates, snapshot capture).
+* :mod:`repro.serve.resilience` — the failure semantics: per-request
+  deadlines, admission control, retry/backoff, explicit error results and
+  the failure accounting surfaced by ``IndexService.stats()``.
 """
 
 from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.faults import FAULT_SITES, FaultInjector, FaultSpec, InjectedFault
+from repro.serve.resilience import (
+    AdmissionController,
+    LaunchExhausted,
+    RequestFailure,
+    RetryPolicy,
+    ServeStats,
+    UpdateFailed,
+)
 from repro.serve.scheduler import (
     LaunchClass,
     MicroBatchScheduler,
@@ -26,15 +40,25 @@ from repro.serve.service import IndexService, ReplayReport
 from repro.serve.snapshot import EpochManager, EpochSnapshot
 
 __all__ = [
+    "AdmissionController",
     "CacheStats",
     "EpochManager",
     "EpochSnapshot",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultSpec",
     "IndexService",
+    "InjectedFault",
     "LaunchClass",
+    "LaunchExhausted",
     "MicroBatchScheduler",
     "ReplayReport",
+    "RequestFailure",
     "RequestResult",
+    "ResultCache",
+    "RetryPolicy",
     "SchedulerStats",
     "ServeRequest",
-    "ResultCache",
+    "ServeStats",
+    "UpdateFailed",
 ]

@@ -21,7 +21,7 @@ breaks ties.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 @dataclass
@@ -62,7 +62,7 @@ class _Entry:
 class ResultCache:
     """Bounded (epoch, class, query) -> result cache with LFU-sampled LRU."""
 
-    def __init__(self, capacity: int, sample_size: int = 8):
+    def __init__(self, capacity: int, sample_size: int = 8, fault_injector=None):
         if capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
         if sample_size < 1:
@@ -70,6 +70,11 @@ class ResultCache:
         self.capacity = int(capacity)
         self.sample_size = int(sample_size)
         self.stats = CacheStats()
+        #: optional :class:`repro.serve.faults.FaultInjector`: reads consult
+        #: the "cache" site (unavailability — the get raises) and the
+        #: "cache_corrupt" site (the returned entry's epoch tag is poisoned,
+        #: which the service detects and treats as a miss).
+        self.faults = fault_injector
         #: insertion/recency order: oldest first (OrderedDict is the LRU list)
         self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
 
@@ -86,9 +91,17 @@ class ResultCache:
         return (epoch, klass, payload)
 
     def get(self, key: tuple):
-        """Return the cached value or None; a hit refreshes recency+frequency."""
+        """Return the cached value or None; a hit refreshes recency+frequency.
+
+        Under fault injection a read may raise :class:`InjectedFault` (cache
+        unavailable) or return a *corrupted* copy whose epoch tag no longer
+        matches its key — the detection (and the cache-bypass degradation)
+        is the caller's job.
+        """
         if not self.enabled:
             return None
+        if self.faults is not None:
+            self.faults.check("cache")
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
@@ -96,7 +109,18 @@ class ResultCache:
         entry.frequency += 1
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if self.faults is not None and self.faults.fires("cache_corrupt"):
+            # Bit-flip analogue: the entry comes back tagged with an epoch
+            # that cannot match any live snapshot.
+            return replace(entry.value, epoch=-1 - entry.value.epoch)
         return entry.value
+
+    def discard(self, key: tuple) -> bool:
+        """Drop one entry (used when the service detects a corrupt read)."""
+        if self._entries.pop(key, None) is None:
+            return False
+        self.stats.evictions += 1
+        return True
 
     def put(self, key: tuple, value) -> None:
         if not self.enabled:

@@ -1,0 +1,145 @@
+"""Deterministic, seeded fault injection for the serving stack.
+
+A :class:`FaultInjector` is threaded through the serving components
+(:class:`repro.serve.service.IndexService`, the scheduler's launch path via
+:class:`repro.rtx.pipeline.Pipeline`, the result cache and the epoch
+manager) and decides, per *site*, whether each operation fails.  Decisions
+are deterministic twice over:
+
+* every site draws from its own child RNG seeded by ``(site, seed)``, so the
+  fire pattern of one site never shifts when another site is added, removed,
+  or consulted in a different order;
+* a site can additionally carry an explicit *schedule* — the set of
+  occurrence indices at which it always fires — which is what the chaos
+  bench uses to guarantee that every fault type is exercised in a recorded
+  run regardless of the probability draw.
+
+Fault sites:
+
+========================  ====================================================
+site                      effect when fired
+========================  ====================================================
+``launch``                :meth:`Pipeline.launch` raises :class:`InjectedFault`
+``launch_latency``        :meth:`Pipeline.launch` stalls ``spec.latency`` s
+``cache``                 :meth:`ResultCache.get` raises (cache unavailable)
+``cache_corrupt``         :meth:`ResultCache.get` returns an entry whose
+                          epoch tag was poisoned (detected by the service)
+``update``                :meth:`IndexService.update` fails after the swap
+                          (rolled back to the previous column)
+``snapshot``              :meth:`EpochManager.current` raises at capture
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Known fault sites, with a stable per-site RNG stream id.  The ids are part
+#: of the determinism contract: a given (seed, site) pair always produces the
+#: same fire pattern, independent of what other sites exist.
+FAULT_SITES = {
+    "launch": 1,
+    "launch_latency": 2,
+    "cache": 3,
+    "cache_corrupt": 4,
+    "update": 5,
+    "snapshot": 6,
+}
+
+
+class InjectedFault(RuntimeError):
+    """A fault raised on purpose by the :class:`FaultInjector`."""
+
+    def __init__(self, site: str, occurrence: int):
+        super().__init__(f"injected fault at site {site!r} (occurrence {occurrence})")
+        self.site = site
+        self.occurrence = occurrence
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Failure behaviour of one site: probability, schedule, latency."""
+
+    #: per-occurrence fire probability in [0, 1]
+    probability: float = 0.0
+    #: occurrence indices (0-based) at which the site always fires
+    at: frozenset = frozenset()
+    #: seconds of stall injected when a latency site fires
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.probability) or not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if math.isnan(self.latency) or self.latency < 0.0:
+            raise ValueError(
+                f"fault latency must be non-negative seconds, got {self.latency}"
+            )
+        object.__setattr__(self, "at", frozenset(int(i) for i in self.at))
+
+
+class FaultInjector:
+    """Seeded per-site fault source for the serving stack.
+
+    Components call :meth:`check` (raise-on-fire), :meth:`fires`
+    (bool-on-fire) or :meth:`latency` (seconds-on-fire) at their injection
+    points; sites without a spec never fire but still count occurrences, so
+    the accounting shows how often each seam *could* have failed.
+    """
+
+    def __init__(self, seed: int = 0, specs: dict[str, FaultSpec] | None = None):
+        specs = dict(specs or {})
+        for site in specs:
+            if site not in FAULT_SITES:
+                raise ValueError(
+                    f"unknown fault site {site!r}; known sites: "
+                    f"{sorted(FAULT_SITES)}"
+                )
+        self.seed = int(seed)
+        self.specs = specs
+        self._rngs = {
+            site: np.random.default_rng([FAULT_SITES[site], self.seed])
+            for site in FAULT_SITES
+        }
+        self.occurrences = {site: 0 for site in FAULT_SITES}
+        self.fired = {site: 0 for site in FAULT_SITES}
+        self.injected_latency_seconds = 0.0
+
+    def fires(self, site: str) -> bool:
+        """Whether the current occurrence of ``site`` fails (and count it)."""
+        occurrence = self.occurrences[site]
+        self.occurrences[site] = occurrence + 1
+        spec = self.specs.get(site)
+        if spec is None:
+            return False
+        fired = occurrence in spec.at
+        if not fired and spec.probability > 0.0:
+            fired = bool(self._rngs[site].random() < spec.probability)
+        if fired:
+            self.fired[site] += 1
+        return fired
+
+    def check(self, site: str) -> None:
+        """Raise :class:`InjectedFault` when the site fires."""
+        if self.fires(site):
+            raise InjectedFault(site, self.occurrences[site] - 1)
+
+    def latency(self, site: str = "launch_latency") -> float:
+        """Injected stall (seconds) for this occurrence; 0.0 when not fired."""
+        if not self.fires(site):
+            return 0.0
+        delay = self.specs[site].latency
+        self.injected_latency_seconds += delay
+        return delay
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "occurrences": dict(self.occurrences),
+            "fired": dict(self.fired),
+            "injected_latency_seconds": self.injected_latency_seconds,
+        }

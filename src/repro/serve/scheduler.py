@@ -41,6 +41,8 @@ from repro.core.results import (
     hits_per_lookup,
 )
 from repro.rtx.traversal import HitRecords, TraversalCounters
+from repro.serve.faults import InjectedFault
+from repro.serve.resilience import LaunchExhausted, RequestFailure, RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -63,6 +65,9 @@ class ServeRequest:
     uppers: np.ndarray | None = None  #: range upper bounds (inclusive)
     limit: int | None = None  #: resolved LIMIT-k budget (range only)
     arrival: float = 0.0  #: stream-time arrival in seconds
+    #: absolute stream time by which the result must be delivered (None =
+    #: no deadline); set by the service from the relative deadline knob
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind == "point":
@@ -104,10 +109,15 @@ class RequestResult:
     from_cache: bool = False
     arrival: float = 0.0  #: stream time the request arrived
     completion: float = 0.0  #: stream time the result was delivered
+    deadline: float | None = None  #: absolute deadline carried from the request
 
     @property
     def latency(self) -> float:
         return self.completion - self.arrival
+
+    @property
+    def failed(self) -> bool:
+        return False
 
     @property
     def num_rays(self) -> int:
@@ -139,6 +149,7 @@ class SchedulerStats:
     closed_by_size: int = 0
     closed_by_wait: int = 0
     closed_by_drain: int = 0
+    closed_by_deadline: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -153,6 +164,7 @@ class SchedulerStats:
             "closed_by_size": self.closed_by_size,
             "closed_by_wait": self.closed_by_wait,
             "closed_by_drain": self.closed_by_drain,
+            "closed_by_deadline": self.closed_by_deadline,
         }
 
 
@@ -165,17 +177,30 @@ class MicroBatchScheduler:
     epoch pinning live in :class:`repro.serve.service.IndexService`.
     """
 
-    def __init__(self, max_batch: int, max_wait: float):
+    def __init__(
+        self,
+        max_batch: int,
+        max_wait: float,
+        retry: RetryPolicy | None = None,
+        serve_stats=None,
+    ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be at least 1, got {max_batch}")
         if max_wait < 0:
             raise ValueError(f"max_wait must be non-negative, got {max_wait}")
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
+        #: optional :class:`RetryPolicy` for faulted coalesced launches
+        self.retry = retry
+        #: optional :class:`repro.serve.resilience.ServeStats` the retry loop
+        #: accounts into (retries, launch failures, backoff seconds)
+        self.serve_stats = serve_stats
         #: FIFO of queued requests; a deque so the per-window dequeue stays
         #: O(window) even at 4096-query windows inside the timed flush path.
         self.pending: deque[ServeRequest] = deque()
         self.pending_queries = 0
+        #: tightest absolute deadline among pending requests (inf if none)
+        self._min_deadline = float("inf")
         self.stats = SchedulerStats()
 
     # ------------------------------------------------------------------ #
@@ -185,20 +210,41 @@ class MicroBatchScheduler:
     def submit(self, request: ServeRequest) -> None:
         self.pending.append(request)
         self.pending_queries += request.num_queries
+        if request.deadline is not None:
+            self._min_deadline = min(self._min_deadline, request.deadline)
         self.stats.requests += 1
         self.stats.queries += request.num_queries
 
     def deadline(self) -> float:
         """Stream time at which the oldest pending request must flush."""
+        return self.flush_deadline(0.0)
+
+    def flush_deadline(self, headroom: float = 0.0) -> float:
+        """Stream time at which the pending window must flush.
+
+        The baseline is the max-wait bound of the oldest request.  When a
+        pending request carries a deadline that would expire sooner, the
+        flush moves *early*: to the tightest deadline minus ``headroom``
+        (the caller's estimate of flush service time), but never before the
+        oldest arrival — a request can't flush before it exists.
+        """
         if not self.pending:
             return float("inf")
-        return self.pending[0].arrival + self.max_wait
+        oldest = self.pending[0].arrival
+        wait_bound = oldest + self.max_wait
+        if self._min_deadline == float("inf"):
+            return wait_bound
+        deadline_bound = max(self._min_deadline - headroom, oldest)
+        return min(wait_bound, deadline_bound)
 
-    def ready(self, now: float) -> bool:
+    def ready(self, now: float, headroom: float = 0.0) -> bool:
         """Whether the pending window must flush at stream time ``now``."""
         if not self.pending:
             return False
-        return self.pending_queries >= self.max_batch or now >= self.deadline()
+        return (
+            self.pending_queries >= self.max_batch
+            or now >= self.flush_deadline(headroom)
+        )
 
     # ------------------------------------------------------------------ #
     # coalescing + demux
@@ -215,6 +261,10 @@ class MicroBatchScheduler:
             taken.append(self.pending.popleft())
             count += nxt
         self.pending_queries -= count
+        self._min_deadline = min(
+            (r.deadline for r in self.pending if r.deadline is not None),
+            default=float("inf"),
+        )
         return taken
 
     def record_window(self, window: list[ServeRequest], reason: str) -> None:
@@ -228,6 +278,8 @@ class MicroBatchScheduler:
             self.stats.closed_by_size += 1
         elif reason == "wait":
             self.stats.closed_by_wait += 1
+        elif reason == "deadline":
+            self.stats.closed_by_deadline += 1
         else:
             self.stats.closed_by_drain += 1
 
@@ -268,13 +320,33 @@ class MicroBatchScheduler:
         # Rays are contiguous per lookup and lookups contiguous per request,
         # so the owning request of every ray is a searchsorted away.
         ray_groups = np.searchsorted(starts, rays.lookup_ids, side="right") - 1
-        launch = snapshot.pipeline.launch(
-            rays,
-            num_lookups=total,
-            mode=klass.mode,
-            limit=klass.limit,
-            ray_groups=ray_groups,
-        )
+        # Retry loop for injected launch faults.  Re-launching is idempotent:
+        # the rays were built once and the snapshot pins the accel state, so
+        # a retried launch is bit-identical to the first attempt succeeding.
+        attempt = 0
+        while True:
+            try:
+                launch = snapshot.pipeline.launch(
+                    rays,
+                    num_lookups=total,
+                    mode=klass.mode,
+                    limit=klass.limit,
+                    ray_groups=ray_groups,
+                )
+                break
+            except InjectedFault as fault:
+                if fault.site != "launch":
+                    raise
+                if self.retry is None or attempt >= self.retry.max_retries:
+                    raise LaunchExhausted(
+                        f"launch of class {klass} failed after {attempt} "
+                        f"retr{'y' if attempt == 1 else 'ies'}"
+                    ) from fault
+                delay = self.retry.delay(attempt)
+                attempt += 1
+                if self.serve_stats is not None:
+                    self.serve_stats.retries += 1
+                    self.serve_stats.backoff_seconds += delay
         self.stats.launches += 1
         self.stats.launched_queries += total
         self.stats.launched_rays += len(rays)
@@ -311,27 +383,44 @@ class MicroBatchScheduler:
                     counters=launch.group_counters[i],
                     num_lookups=request.num_queries,
                     arrival=request.arrival,
+                    deadline=request.deadline,
                 )
             )
         return results
 
     def launch_window(
         self, window: list[ServeRequest], snapshot
-    ) -> list[RequestResult]:
+    ) -> list[RequestResult | RequestFailure]:
         """Coalesce ``window`` into per-class launches and demux the results.
 
         Results come back in request order.  Requests of different launch
         classes cannot share a launch (one trace mode / hit budget per
-        launch), so a mixed window issues one launch per class.
+        launch), so a mixed window issues one launch per class.  A class
+        whose launch exhausts its retries fails *only its own requests* —
+        each gets an explicit :class:`RequestFailure` — while the other
+        classes of the window still serve normally.
         """
         by_class: dict[LaunchClass, list[ServeRequest]] = {}
         for request in window:
             by_class.setdefault(self.class_of(request, snapshot), []).append(request)
 
-        results: dict[int, RequestResult] = {}
+        results: dict[int, RequestResult | RequestFailure] = {}
         for klass, requests in by_class.items():
-            for result in self._launch_class(klass, requests, snapshot):
-                results[result.request_id] = result
+            try:
+                for result in self._launch_class(klass, requests, snapshot):
+                    results[result.request_id] = result
+            except LaunchExhausted:
+                if self.serve_stats is not None:
+                    self.serve_stats.launch_failures += len(requests)
+                for request in requests:
+                    results[request.request_id] = RequestFailure(
+                        request_id=request.request_id,
+                        kind=request.kind,
+                        reason="launch_failed",
+                        arrival=request.arrival,
+                        deadline=request.deadline,
+                        num_lookups=request.num_queries,
+                    )
         return [results[r.request_id] for r in window]
 
     def flush(self, snapshot, reason: str = "size") -> list[RequestResult]:

@@ -31,32 +31,53 @@ against a real component:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
+from collections import Counter
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.rx_index import RXIndex
 from repro.serve.cache import ResultCache
+from repro.serve.faults import InjectedFault
+from repro.serve.resilience import (
+    AdmissionController,
+    RequestFailure,
+    RetryPolicy,
+    ServeStats,
+    UpdateFailed,
+)
 from repro.serve.scheduler import MicroBatchScheduler, RequestResult, ServeRequest
 from repro.serve.snapshot import EpochManager, EpochSnapshot
 
 
 @dataclass
 class ReplayReport:
-    """Throughput/latency summary of one replayed query stream."""
+    """Throughput/latency summary of one replayed query stream.
+
+    ``results`` holds the successful :class:`RequestResult`\\ s; ``errors``
+    holds every explicit :class:`RequestFailure` (rejections, timeouts,
+    exhausted launches).  Every submitted request lands in exactly one of
+    the two lists — a replay can never silently drop a request.
+    """
 
     results: list[RequestResult]
-    #: per-request latency in stream seconds (completion - arrival)
+    #: per-request latency in stream seconds (completion - arrival),
+    #: successes only
     latencies: np.ndarray
     #: end-to-end stream time from first arrival to last completion
     makespan: float
     #: wall-clock seconds the launches themselves consumed
     service_seconds: float
+    #: explicit failures: one RequestFailure per rejected/failed request
+    errors: list[RequestFailure] = field(default_factory=list)
+    #: index updates applied during the replay: dicts with "time",
+    #: "epoch" (after the update) and "failed" (rolled back)
+    updates: list[dict] = field(default_factory=list)
     num_requests: int = 0
     num_queries: int = 0
 
     def __post_init__(self) -> None:
-        self.num_requests = len(self.results)
+        self.num_requests = len(self.results) + len(self.errors)
         self.num_queries = int(sum(r.num_lookups for r in self.results))
 
     @property
@@ -65,11 +86,24 @@ class ReplayReport:
         return self.num_requests / self.makespan if self.makespan > 0 else 0.0
 
     @property
+    def goodput_rps(self) -> float:
+        """Successful-request throughput over the makespan (the chaos metric)."""
+        return len(self.results) / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of submitted requests that received an error result."""
+        return len(self.errors) / self.num_requests if self.num_requests else 0.0
+
+    @property
     def service_throughput_rps(self) -> float:
         """Request throughput of the launch pipeline alone (no idle time)."""
         return (
             self.num_requests / self.service_seconds if self.service_seconds > 0 else 0.0
         )
+
+    def errors_by_reason(self) -> dict:
+        return dict(Counter(f.reason for f in self.errors))
 
     def latency_percentiles(self) -> dict:
         if self.latencies.size == 0:
@@ -81,11 +115,16 @@ class ReplayReport:
         return {
             "num_requests": self.num_requests,
             "num_queries": self.num_queries,
+            "num_errors": len(self.errors),
+            "errors_by_reason": self.errors_by_reason(),
+            "error_rate": self.error_rate,
             "makespan_seconds": self.makespan,
             "service_seconds": self.service_seconds,
             "throughput_rps": self.throughput_rps,
+            "goodput_rps": self.goodput_rps,
             "service_throughput_rps": self.service_throughput_rps,
             "latency_seconds": self.latency_percentiles(),
+            "updates": list(self.updates),
         }
 
 
@@ -98,44 +137,133 @@ class IndexService:
         max_batch: int | None = None,
         max_wait: float | None = None,
         cache_capacity: int | None = None,
+        deadline: float | None = None,
+        max_queue: int | None = None,
+        retry: RetryPolicy | None = None,
+        fault_injector=None,
     ):
         config = index.config
         self.index = index
+        self.faults = fault_injector
+        self.serve_stats = ServeStats()
+        #: default relative deadline (seconds after arrival) stamped on
+        #: requests that do not carry their own; None = no deadline
+        self.deadline = deadline if deadline is not None else config.serve_deadline
+        self.admission = AdmissionController(
+            max_queue if max_queue is not None else config.serve_max_queue
+        )
+        if retry is None:
+            retry = RetryPolicy(
+                max_retries=config.serve_retry_max,
+                backoff_base=config.serve_retry_backoff,
+                backoff_factor=config.serve_retry_factor,
+                jitter=config.serve_retry_jitter,
+            )
+        self.retry = retry
         self.scheduler = MicroBatchScheduler(
             max_batch=max_batch if max_batch is not None else config.serve_max_batch,
             max_wait=max_wait if max_wait is not None else config.serve_max_wait,
+            retry=retry,
+            serve_stats=self.serve_stats,
         )
         self.cache = ResultCache(
             cache_capacity
             if cache_capacity is not None
-            else config.serve_cache_capacity
+            else config.serve_cache_capacity,
+            fault_injector=fault_injector,
         )
-        self.epochs = EpochManager(index)
+        self.epochs = EpochManager(index, fault_injector=fault_injector)
         self.epochs.add_listener(self.cache.invalidate_before)
         self._next_request_id = 0
         self._window_snapshot: EpochSnapshot | None = None
         self._service_seconds = 0.0
+        #: EWMA of flush service time — the headroom used by deadline-aware
+        #: window flushing (flush early enough that service still fits)
+        self._flush_ewma = 0.0
+        #: rejections produced since the last _take_rejections() drain
+        self._rejected: list[RequestFailure] = []
 
     # ------------------------------------------------------------------ #
     # submission
     # ------------------------------------------------------------------ #
 
-    def _admit(self, request: ServeRequest) -> ServeRequest:
+    def _reject(self, request: ServeRequest, reason: str, retry_after=None):
+        failure = RequestFailure(
+            request_id=request.request_id,
+            kind=request.kind,
+            reason=reason,
+            arrival=request.arrival,
+            completion=request.arrival,  # rejected on the spot
+            deadline=request.deadline,
+            retry_after=retry_after,
+            num_lookups=request.num_queries,
+        )
+        self.serve_stats.rejections += 1
+        if reason == "rejected_deadline":
+            self.serve_stats.rejections_deadline += 1
+        elif reason == "rejected":
+            self.serve_stats.rejections_queue += 1
+        self._rejected.append(failure)
+        return failure
+
+    def _take_rejections(self) -> list[RequestFailure]:
+        rejected, self._rejected = self._rejected, []
+        return rejected
+
+    def _admit(self, request: ServeRequest) -> ServeRequest | RequestFailure:
+        if request.deadline is None and self.deadline is not None:
+            request.deadline = request.arrival + self.deadline
+        if request.deadline is not None and request.deadline <= request.arrival:
+            # The deadline cannot be met even by an instantaneous flush:
+            # reject up front instead of doing work that must be discarded.
+            return self._reject(request, "rejected_deadline")
+        if not self.admission.admits(
+            self.scheduler.pending_queries, request.num_queries
+        ):
+            # Shed load with a hint: the queue drains at the next flush.
+            next_flush = self.scheduler.flush_deadline(self._flush_ewma)
+            retry_after = (
+                max(next_flush - request.arrival, 0.0)
+                if next_flush != float("inf")
+                else self.scheduler.max_wait
+            )
+            return self._reject(request, "rejected", retry_after=retry_after)
         if self._window_snapshot is None:
             # First request of a new window: pin the epoch it will run on.
-            self._window_snapshot = self.epochs.pin(self.epochs.current())
+            try:
+                self._window_snapshot = self.epochs.pin(self.epochs.current())
+            except InjectedFault:
+                # Snapshot capture faulted: the service cannot open a window
+                # right now, so shed the request as transient.
+                return self._reject(
+                    request, "rejected", retry_after=self.scheduler.max_wait
+                )
         self.scheduler.submit(request)
+        self.serve_stats.admitted += 1
         return request
 
-    def submit_point(self, queries: np.ndarray, arrival: float = 0.0) -> ServeRequest:
-        """Queue one point-lookup request (one or a few query keys)."""
+    def submit_point(
+        self,
+        queries: np.ndarray,
+        arrival: float = 0.0,
+        deadline: float | None = None,
+    ) -> ServeRequest | RequestFailure:
+        """Queue one point-lookup request (one or a few query keys).
+
+        ``deadline`` is relative (seconds after ``arrival``); when omitted
+        the service's default applies.  Returns the queued request, or an
+        explicit :class:`RequestFailure` when the request was rejected
+        (infeasible deadline or shed by the admission controller).
+        """
         self._next_request_id += 1
+        arrival = float(arrival)
         return self._admit(
             ServeRequest(
                 request_id=self._next_request_id,
                 kind="point",
                 queries=np.ascontiguousarray(queries, dtype=np.uint64),
-                arrival=float(arrival),
+                arrival=arrival,
+                deadline=arrival + deadline if deadline is not None else None,
             )
         )
 
@@ -145,7 +273,8 @@ class IndexService:
         uppers: np.ndarray,
         limit="auto",
         arrival: float = 0.0,
-    ) -> ServeRequest:
+        deadline: float | None = None,
+    ) -> ServeRequest | RequestFailure:
         """Queue one range-lookup request, optionally with LIMIT-k pushdown."""
         if isinstance(limit, str):
             if limit != "auto":
@@ -158,6 +287,7 @@ class IndexService:
             if limit < 1:
                 raise ValueError(f"limit must be at least 1, got {limit}")
         self._next_request_id += 1
+        arrival = float(arrival)
         return self._admit(
             ServeRequest(
                 request_id=self._next_request_id,
@@ -165,7 +295,8 @@ class IndexService:
                 lowers=np.ascontiguousarray(lowers, dtype=np.uint64),
                 uppers=np.ascontiguousarray(uppers, dtype=np.uint64),
                 limit=limit,
-                arrival=float(arrival),
+                arrival=arrival,
+                deadline=arrival + deadline if deadline is not None else None,
             )
         )
 
@@ -179,8 +310,32 @@ class IndexService:
         The new epoch becomes visible to the *next* window (and invalidates
         the cache's older entries); the currently open window still launches
         against the snapshot pinned when it opened.
+
+        When the swap *faults* (injected at the "update" site), the index is
+        rolled back to the previous key column — a fresh epoch carrying the
+        old content — and an :class:`UpdateFailed` outcome is returned so the
+        caller sees the failure instead of the update silently half-landing.
+        Serving continues from the pre-update state either way.
         """
-        outcome = self.index.update(new_keys, new_values)
+        if self.faults is not None:
+            old_keys = self.index.keys.copy()
+            old_values = (
+                self.index.values.copy() if self.index.values is not None else None
+            )
+            outcome = self.index.update(new_keys, new_values)
+            try:
+                self.faults.check("update")
+            except InjectedFault:
+                # Roll the content back.  The epoch still advances (twice:
+                # failed swap + rollback) so every pinned snapshot stays
+                # immutable; the intermediate epoch never serves a window.
+                self.index.update(old_keys, old_values)
+                self.serve_stats.updates_failed += 1
+                self.serve_stats.updates_rolled_back += 1
+                self.epochs.current()  # observe the rollback epoch
+                return UpdateFailed(rolled_back=True, epoch=self.index.epoch)
+        else:
+            outcome = self.index.update(new_keys, new_values)
         self.epochs.current()  # observe the new epoch, sweep the cache
         return outcome
 
@@ -188,40 +343,109 @@ class IndexService:
     # flushing
     # ------------------------------------------------------------------ #
 
-    def _flush_window(self, reason: str) -> list[RequestResult]:
+    def _flush_window(
+        self, reason: str, now: float | None = None
+    ) -> list[RequestResult | RequestFailure]:
         snapshot = self._window_snapshot
         if snapshot is None:
-            return []
+            if not self.scheduler.pending:
+                return []
+            # Defensive re-pin: a prior flush may have failed between
+            # releasing its snapshot and pinning the next window's.
+            snapshot = self._window_snapshot = self.epochs.pin(self.epochs.current())
         window = self.scheduler.take_window()
         if not window:
             return []
+        # The snapshot must be released exactly once no matter what the
+        # serve raises, and the next window (if any) pinned afresh —
+        # otherwise a failed flush pins a dead epoch's accel arrays forever.
+        self._window_snapshot = None
+        try:
+            with self.epochs.releasing(snapshot):
+                served = self._serve_window(window, snapshot, reason, now)
+        finally:
+            if self.scheduler.pending:
+                # Requests beyond the window boundary start the next window.
+                self._window_snapshot = self.epochs.pin(self.epochs.current())
+        return served
+
+    def _serve_window(
+        self,
+        window: list[ServeRequest],
+        snapshot: EpochSnapshot,
+        reason: str,
+        now: float | None,
+    ) -> list[RequestResult | RequestFailure]:
         self.scheduler.record_window(window, reason)
+        served: dict[int, RequestResult | RequestFailure] = {}
+        # Requests whose deadline already passed are shed before the launch:
+        # they get an explicit timeout instead of work that must be thrown
+        # away, and they stop inflating the coalesced launch.
+        live: list[ServeRequest] = []
+        for request in window:
+            if (
+                now is not None
+                and request.deadline is not None
+                and request.deadline < now
+            ):
+                self.serve_stats.timeouts += 1
+                self.serve_stats.expired_shed += 1
+                served[request.request_id] = RequestFailure(
+                    request_id=request.request_id,
+                    kind=request.kind,
+                    reason="timeout",
+                    arrival=request.arrival,
+                    completion=now,
+                    deadline=request.deadline,
+                    num_lookups=request.num_queries,
+                )
+            else:
+                live.append(request)
         # Only current-epoch results may (re-)enter the cache: results of a
         # pinned-but-superseded epoch would outlive their invalidation sweep.
         cache_insert = self.cache.enabled and snapshot.epoch == self.index.epoch
-        served: dict[int, RequestResult] = {}
         misses: list[tuple[ServeRequest, tuple | None]] = []
         if self.cache.enabled:
-            for request in window:
-                key = ResultCache.key_for(
-                    snapshot.epoch,
-                    self.scheduler.class_of(request, snapshot),
-                    request.cache_payload(),
-                )
-                cached = self.cache.get(key)
-                if cached is not None:
-                    served[request.request_id] = replace(
-                        cached,
-                        request_id=request.request_id,
-                        arrival=request.arrival,
-                        from_cache=True,
+            try:
+                for request in live:
+                    key = ResultCache.key_for(
+                        snapshot.epoch,
+                        self.scheduler.class_of(request, snapshot),
+                        request.cache_payload(),
                     )
-                else:
-                    misses.append((request, key))
+                    cached = self.cache.get(key)
+                    if cached is not None and cached.epoch != snapshot.epoch:
+                        # Corrupt read: the entry's epoch tag cannot belong
+                        # to the key it was found under.  Drop it and serve
+                        # the request by launching.
+                        self.cache.discard(key)
+                        self.serve_stats.cache_corruptions_detected += 1
+                        cached = None
+                    if cached is not None:
+                        served[request.request_id] = replace(
+                            cached,
+                            request_id=request.request_id,
+                            arrival=request.arrival,
+                            deadline=request.deadline,
+                            from_cache=True,
+                        )
+                    else:
+                        misses.append((request, key))
+            except InjectedFault:
+                # Cache unavailable: degrade to cache-bypass for this flush.
+                # Every request launches; nothing is read or written back.
+                self.serve_stats.degraded_flushes += 1
+                served = {
+                    rid: res
+                    for rid, res in served.items()
+                    if isinstance(res, RequestFailure)
+                }
+                misses = [(request, None) for request in live]
+                cache_insert = False
         else:
             # Disabled cache: skip the key construction entirely — this is
             # the configuration the serving benchmarks time.
-            misses = [(request, None) for request in window]
+            misses = [(request, None) for request in live]
         if misses:
             for result in self.scheduler.launch_window(
                 [request for request, _ in misses], snapshot
@@ -229,31 +453,27 @@ class IndexService:
                 served[result.request_id] = result
             if cache_insert:
                 for request, key in misses:
-                    self.cache.put(key, served[request.request_id])
-
-        self.epochs.release(snapshot)
-        if self.scheduler.pending:
-            # Requests beyond the window boundary start the next window now.
-            self._window_snapshot = self.epochs.pin(self.epochs.current())
-        else:
-            self._window_snapshot = None
+                    result = served[request.request_id]
+                    if isinstance(result, RequestResult):
+                        self.cache.put(key, result)
         return [served[r.request_id] for r in window]
 
-    def pump(self, now: float) -> list[RequestResult]:
+    def pump(self, now: float) -> list[RequestResult | RequestFailure]:
         """Flush every window that is due at stream time ``now``."""
-        results: list[RequestResult] = []
-        while self.scheduler.ready(now):
-            reason = (
-                "size"
-                if self.scheduler.pending_queries >= self.scheduler.max_batch
-                else "wait"
-            )
-            results.extend(self._flush_window(reason))
+        results: list[RequestResult | RequestFailure] = []
+        while self.scheduler.ready(now, self._flush_ewma):
+            if self.scheduler.pending_queries >= self.scheduler.max_batch:
+                reason = "size"
+            elif now >= self.scheduler.pending[0].arrival + self.scheduler.max_wait:
+                reason = "wait"
+            else:
+                reason = "deadline"
+            results.extend(self._flush_window(reason, now))
         return results
 
-    def drain(self) -> list[RequestResult]:
+    def drain(self) -> list[RequestResult | RequestFailure]:
         """Flush everything that is still pending, regardless of deadlines."""
-        results: list[RequestResult] = []
+        results: list[RequestResult | RequestFailure] = []
         while self.scheduler.pending:
             results.extend(self._flush_window("drain"))
         return results
@@ -262,62 +482,138 @@ class IndexService:
     # replay drivers
     # ------------------------------------------------------------------ #
 
-    def _timed_flush(self, reason: str) -> tuple[list[RequestResult], float]:
+    def _timed_flush(
+        self, reason: str, now: float | None = None
+    ) -> tuple[list[RequestResult | RequestFailure], float]:
         start = time.perf_counter()
-        results = self._flush_window(reason)
+        backoff_before = self.serve_stats.backoff_seconds
+        results = self._flush_window(reason, now)
         elapsed = time.perf_counter() - start
+        # Simulated retry backoff counts as service time: the launch server
+        # is busy waiting out the backoff exactly as a real retry loop is.
+        elapsed += self.serve_stats.backoff_seconds - backoff_before
         self._service_seconds += elapsed
+        # EWMA of flush service time: the headroom estimate deadline-aware
+        # flushing subtracts from the tightest pending deadline.
+        if self._flush_ewma == 0.0:
+            self._flush_ewma = elapsed
+        else:
+            self._flush_ewma = 0.7 * self._flush_ewma + 0.3 * elapsed
         return results, elapsed
 
-    def replay(self, stream) -> ReplayReport:
+    def replay(self, stream, updates=None) -> ReplayReport:
         """Open-loop replay: serve ``stream`` and report throughput/latency.
 
         Arrival times come from the stream; service times are the measured
         wall-clock of the coalesced launches.  A window closes by *size*
-        (``max_batch`` queries reached, launch at the closing arrival) or by
-        *wait* (the oldest request's ``max_wait`` deadline passes before the
-        next arrival, launch at the deadline); the launch itself additionally
-        queues behind the previous one (single launch server).
+        (``max_batch`` queries reached, launch at the closing arrival), by
+        *wait* (the oldest request's ``max_wait`` bound passes before the
+        next arrival) or by *deadline* (a pending request's deadline minus
+        the flush-time EWMA headroom comes first); the launch itself
+        additionally queues behind the previous one (single launch server).
+
+        ``updates`` optionally schedules index updates inside the stream:
+        an iterable of ``(time, new_keys)`` or ``(time, new_keys,
+        new_values)`` tuples applied in stream-time order (due windows flush
+        first, so an update never leaks into an already-open window's past).
+        The report's ``errors`` list carries every rejected, timed-out or
+        launch-failed request — each submitted request appears in exactly
+        one of ``results``/``errors``.
         """
         if self.scheduler.pending:
             raise RuntimeError("replay() needs an idle service (pending queue)")
         requests = stream.requests()
         n = len(requests)
         completed: list[RequestResult] = []
+        failures: list[RequestFailure] = []
+        update_log: list[dict] = []
         server_free = 0.0
         first_arrival = requests[0][0] if n else 0.0
         service_seconds_before = self._service_seconds
+        schedule = sorted(updates, key=lambda entry: entry[0]) if updates else []
+        next_update = 0
+
+        def finish(result, completion: float) -> None:
+            """Deliver one flush result at stream time ``completion``."""
+            if isinstance(result, RequestFailure):
+                if result.completion == 0.0:
+                    result.completion = completion
+                failures.append(result)
+                return
+            if result.deadline is not None and completion > result.deadline:
+                # Served, but too late: the client already gave up.
+                self.serve_stats.timeouts += 1
+                failure = RequestFailure.from_result(result, "timeout")
+                failure.completion = completion
+                failures.append(failure)
+                return
+            result.completion = completion
+            completed.append(result)
 
         def launch(close_time: float, reason: str) -> None:
             nonlocal server_free
             start = max(close_time, server_free)
-            results, elapsed = self._timed_flush(reason)
+            results, elapsed = self._timed_flush(reason, close_time)
             server_free = start + elapsed
             for result in results:
-                result.completion = server_free
-            completed.extend(results)
+                finish(result, server_free)
+
+        def flush_due(until: float) -> None:
+            """Fire every window whose flush deadline expires before ``until``."""
+            while self.scheduler.pending:
+                due = self.scheduler.flush_deadline(self._flush_ewma)
+                if due >= until:
+                    break
+                wait_bound = (
+                    self.scheduler.pending[0].arrival + self.scheduler.max_wait
+                )
+                launch(due, "wait" if due >= wait_bound else "deadline")
+
+        def apply_update(entry) -> None:
+            at = float(entry[0])
+            flush_due(at)
+            outcome = self.update(entry[1], entry[2] if len(entry) > 2 else None)
+            update_log.append(
+                {
+                    "time": at,
+                    "epoch": int(self.index.epoch),
+                    "failed": isinstance(outcome, UpdateFailed),
+                }
+            )
 
         for arrival, submit in requests:
-            # Wait deadlines that expire before this arrival fire first.
-            while (
-                self.scheduler.pending and self.scheduler.deadline() < arrival
-            ):
-                launch(self.scheduler.deadline(), "wait")
+            while next_update < len(schedule) and schedule[next_update][0] <= arrival:
+                apply_update(schedule[next_update])
+                next_update += 1
+            # Flush deadlines that expire before this arrival fire first.
+            flush_due(arrival)
             submit(self, arrival)
+            failures.extend(self._take_rejections())
             while self.scheduler.pending_queries >= self.scheduler.max_batch:
                 launch(arrival, "size")
+        while next_update < len(schedule):
+            apply_update(schedule[next_update])
+            next_update += 1
         while self.scheduler.pending:
-            launch(self.scheduler.deadline(), "wait")
+            due = self.scheduler.flush_deadline(self._flush_ewma)
+            wait_bound = self.scheduler.pending[0].arrival + self.scheduler.max_wait
+            launch(due, "wait" if due >= wait_bound else "deadline")
 
         latencies = np.array([r.latency for r in completed], dtype=np.float64)
+        last_completion = max(
+            max((r.completion for r in completed), default=0.0),
+            max((f.completion for f in failures), default=0.0),
+        )
         makespan = (
-            max((r.completion for r in completed), default=0.0) - first_arrival
+            last_completion - first_arrival if (completed or failures) else 0.0
         )
         return ReplayReport(
             results=completed,
             latencies=latencies,
             makespan=makespan,
             service_seconds=self._service_seconds - service_seconds_before,
+            errors=failures,
+            updates=update_log,
         )
 
     def replay_closed_loop(self, stream, num_clients: int) -> ReplayReport:
@@ -336,6 +632,7 @@ class IndexService:
             )
         requests = stream.requests()
         completed: list[RequestResult] = []
+        failures: list[RequestFailure] = []
         server_free = 0.0
         service_seconds_before = self._service_seconds
         # Ready times of the idle clients (all start at stream time zero).
@@ -355,7 +652,13 @@ class IndexService:
                 _, submit = requests[next_request]
                 submit(self, now)
                 next_request += 1
+                for rejection in self._take_rejections():
+                    # A rejected client turns around immediately.
+                    failures.append(rejection)
+                    ready.append(now)
             if not self.scheduler.pending:
+                if next_request < len(requests) and ready:
+                    continue  # everything in flight was rejected; resubmit
                 break
             reason = (
                 "size"
@@ -369,17 +672,34 @@ class IndexService:
             start = max(close_time, server_free)
             server_free = start + elapsed
             for result in results:
-                result.completion = server_free
+                if isinstance(result, RequestFailure):
+                    if result.completion == 0.0:
+                        result.completion = server_free
+                    failures.append(result)
+                elif (
+                    result.deadline is not None
+                    and server_free > result.deadline
+                ):
+                    self.serve_stats.timeouts += 1
+                    failure = RequestFailure.from_result(result, "timeout")
+                    failure.completion = server_free
+                    failures.append(failure)
+                else:
+                    result.completion = server_free
+                    completed.append(result)
                 ready.append(server_free)  # the client turns around
-            completed.extend(results)
 
         latencies = np.array([r.latency for r in completed], dtype=np.float64)
-        makespan = max((r.completion for r in completed), default=0.0)
+        makespan = max(
+            max((r.completion for r in completed), default=0.0),
+            max((f.completion for f in failures), default=0.0),
+        )
         return ReplayReport(
             results=completed,
             latencies=latencies,
             makespan=makespan,
             service_seconds=self._service_seconds - service_seconds_before,
+            errors=failures,
         )
 
     # ------------------------------------------------------------------ #
@@ -393,9 +713,16 @@ class IndexService:
             "scheduler": self.scheduler.stats.as_dict(),
             "cache": self.cache.stats.as_dict(),
             "epochs": self.epochs.stats.as_dict(),
+            "resilience": {
+                **self.serve_stats.as_dict(),
+                "faults": self.faults.as_dict() if self.faults is not None else {},
+            },
             "serve_knobs": {
                 "max_batch": self.scheduler.max_batch,
                 "max_wait": self.scheduler.max_wait,
                 "cache_capacity": self.cache.capacity,
+                "deadline": self.deadline,
+                "max_queue": self.admission.max_queue,
+                "retry_max": self.retry.max_retries,
             },
         }

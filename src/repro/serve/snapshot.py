@@ -18,6 +18,7 @@ previous epoch's arrays would be silently corrupted under a pinned batch.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -71,10 +72,15 @@ class EpochManager:
     they release it.
     """
 
-    def __init__(self, index: RXIndex):
+    def __init__(self, index: RXIndex, fault_injector=None):
         self.index = index
         self.stats = EpochManagerStats()
         self._listeners: list = []
+        #: optional :class:`repro.serve.faults.FaultInjector`: captures
+        #: consult the "snapshot" site, and every captured pipeline gets the
+        #: injector attached so coalesced launches hit the "launch" and
+        #: "launch_latency" sites.
+        self.faults = fault_injector
         self._snapshot = self._capture()
 
     def _capture(self) -> EpochSnapshot:
@@ -85,7 +91,11 @@ class EpochManager:
                 "refits rewrite the shared accel's node bounds in place, so a "
                 "pinned snapshot could observe a half-updated tree"
             )
+        if self.faults is not None:
+            self.faults.check("snapshot")
         pipeline = index.pipeline  # raises if the index is not built yet
+        if self.faults is not None:
+            pipeline.fault_injector = self.faults
         self.stats.epochs_seen += 1
         return EpochSnapshot(
             epoch=index.epoch,
@@ -125,3 +135,16 @@ class EpochManager:
             # The last batch of a superseded epoch finished: the old accel
             # arrays become collectable the moment this reference drops.
             self.stats.retired += 1
+
+    @contextmanager
+    def releasing(self, snapshot: EpochSnapshot):
+        """Release ``snapshot`` when the block exits — even by exception.
+
+        This is the flush path's pin discipline: a launch that raises must
+        not leave the window's snapshot pinned forever, or a superseded
+        epoch's accel arrays stay unreclaimable for the service's lifetime.
+        """
+        try:
+            yield snapshot
+        finally:
+            self.release(snapshot)

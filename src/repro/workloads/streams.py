@@ -31,13 +31,22 @@ class StreamRequest:
     lowers: np.ndarray | None = None
     uppers: np.ndarray | None = None
     limit: int | None = None
+    #: per-request deadline, relative seconds after arrival (None defers to
+    #: the serving layer's configured default)
+    deadline: float | None = None
 
     def submit(self, service, arrival: float):
         """Queue this request on ``service`` at stream time ``arrival``."""
         if self.kind == "point":
-            return service.submit_point(self.queries, arrival=arrival)
+            return service.submit_point(
+                self.queries, arrival=arrival, deadline=self.deadline
+            )
         return service.submit_range(
-            self.lowers, self.uppers, limit=self.limit, arrival=arrival
+            self.lowers,
+            self.uppers,
+            limit=self.limit,
+            arrival=arrival,
+            deadline=self.deadline,
         )
 
 
@@ -83,6 +92,7 @@ def zipf_point_stream(
     queries_per_request: int = 1,
     seed: int | np.random.Generator | None = 7,
     poisson: bool = True,
+    deadline: float | None = None,
 ) -> QueryStream:
     """Open-loop stream of point-lookup requests with Zipf-skewed popularity.
 
@@ -90,6 +100,8 @@ def zipf_point_stream(
     convention as :func:`repro.workloads.lookups.zipf_point_lookups`), and
     requests arrive at ``rate`` requests/second — exponentially spaced when
     ``poisson`` (the memoryless open-loop source), evenly spaced otherwise.
+    ``deadline`` stamps every request with a relative deadline (seconds
+    after arrival) for the fault-tolerant serving path.
     """
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     keys = np.asarray(keys, dtype=np.uint64)
@@ -102,7 +114,12 @@ def zipf_point_stream(
     queries = keys[ranks].reshape(num_requests, queries_per_request)
     arrivals = _arrival_times(num_requests, rate, rng, poisson)
     entries = [
-        StreamRequest(arrival=float(arrivals[i]), kind="point", queries=queries[i])
+        StreamRequest(
+            arrival=float(arrivals[i]),
+            kind="point",
+            queries=queries[i],
+            deadline=deadline,
+        )
         for i in range(num_requests)
     ]
     return QueryStream(
@@ -113,6 +130,7 @@ def zipf_point_stream(
             "rate": rate,
             "queries_per_request": queries_per_request,
             "poisson": poisson,
+            "deadline": deadline,
         },
     )
 
@@ -126,6 +144,7 @@ def zipf_range_stream(
     limit: int | None = None,
     seed: int | np.random.Generator | None = 8,
     poisson: bool = True,
+    deadline: float | None = None,
 ) -> QueryStream:
     """Open-loop stream of range-lookup requests ``[l, l + span - 1]``.
 
@@ -153,6 +172,7 @@ def zipf_range_stream(
             lowers=lowers[i : i + 1],
             uppers=uppers[i : i + 1],
             limit=limit,
+            deadline=deadline,
         )
         for i in range(num_requests)
     ]
@@ -165,5 +185,6 @@ def zipf_range_stream(
             "span": span,
             "limit": limit,
             "poisson": poisson,
+            "deadline": deadline,
         },
     )

@@ -12,6 +12,7 @@ import pytest
 from repro.bench.experiments import (
     ALL_EXPERIMENTS,
     ablation_builders,
+    chaos_serve,
     fig03_key_modes,
     fig06_ray_modes,
     fig07_primitives,
@@ -36,7 +37,7 @@ SCALE = "tiny"
 
 
 def test_every_experiment_is_registered():
-    assert len(ALL_EXPERIMENTS) == 20
+    assert len(ALL_EXPERIMENTS) == 21
 
 
 def test_every_experiment_produces_text():
@@ -342,6 +343,23 @@ class TestFig18Hardware:
         factors = fig18_hardware.improvement_factors(result)
         sorted_factors = {k: v for k, v in factors.items() if "sorted" in k and "unsorted" not in k}
         assert max(sorted_factors, key=sorted_factors.get).startswith("RX")
+
+
+class TestChaosServe:
+    def test_faults_burn_goodput_but_the_clean_point_is_error_free(self):
+        result = chaos_serve.run(scale=SCALE)
+        goodput = result.series_by_label("goodput").y
+        errors = result.series_by_label("error rate").y
+        retries = result.series_by_label("launch retries").y
+        # Intensity 0 is the clean baseline: no errors, no retries.
+        assert errors[0] == 0.0
+        assert retries[0] == 0.0
+        # At the top intensity faults visibly burn the error budget (explicit
+        # errors, not silent drops) and goodput degrades below the baseline.
+        assert errors[-1] > 0.0
+        assert retries[-1] > 0.0
+        assert goodput[-1] < goodput[0]
+        assert all(v > 0.0 for v in goodput)
 
 
 class TestAblation:

@@ -225,7 +225,14 @@ class TestStatsAndKnobs:
         assert service.scheduler.max_wait == 0.25
         assert service.cache.capacity == 3
         knobs = service.stats()["serve_knobs"]
-        assert knobs == {"max_batch": 7, "max_wait": 0.25, "cache_capacity": 3}
+        assert knobs == {
+            "max_batch": 7,
+            "max_wait": 0.25,
+            "cache_capacity": 3,
+            "deadline": None,
+            "max_queue": None,
+            "retry_max": 3,
+        }
 
     def test_serve_knob_validation(self):
         for field, value in (

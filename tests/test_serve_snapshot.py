@@ -7,13 +7,23 @@ drive deterministic interleavings through :class:`repro.serve.IndexService`
 and compare each batch bit-for-bit against per-epoch reference indexes.
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.config import RXConfig, UpdatePolicy
 from repro.core.rx_index import RXIndex
-from repro.serve import EpochManager, IndexService
+from repro.serve import (
+    EpochManager,
+    FaultInjector,
+    FaultSpec,
+    IndexService,
+    UpdateFailed,
+)
 from repro.workloads import dense_shuffled_keys
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
 
 
 def delta_config():
@@ -145,6 +155,137 @@ class TestRacingUpdates:
         assert [r.epoch for r in results] == [0, 1]
         assert epoch_of_batch(results[0], queries, references) == [0]
         assert epoch_of_batch(results[1], queries, references) == [1]
+
+
+class TestCacheEpochIntegrityUnderFaults:
+    @pytest.mark.parametrize("trial", range(4))
+    def test_cache_never_serves_cross_epoch_under_update_faults(self, trial):
+        """Property: no window's result is ever tagged with (or equal to) a
+        different epoch than the snapshot that served the window, under a
+        random interleaving of submissions and randomly *faulting* updates.
+
+        Each faulted update rolls back (fresh epoch, old content), each
+        successful one advances the content — either way the cache sweeps on
+        every advance, so a cached result can only be served back to a
+        window pinned to the exact epoch it was computed against.
+        """
+        rng = np.random.default_rng([1201, FAULT_SEED, trial])
+        keys = dense_shuffled_keys(1024, seed=27)
+        config = delta_config()
+        injector = FaultInjector(
+            seed=FAULT_SEED + trial,
+            specs={"update": FaultSpec(probability=0.5)},
+        )
+        index = RXIndex(config)
+        index.build(keys)
+        service = IndexService(
+            index,
+            max_batch=64,
+            max_wait=10.0,
+            cache_capacity=128,
+            fault_injector=injector,
+        )
+        # Epoch -> key column, maintained alongside the service's updates.
+        columns = {0: keys}
+        content = keys
+        references = {}
+        query_pool = [keys[:16], keys[16:32], keys[:16]]  # repeats hit cache
+        queries_of = {}  # request_id -> its query batch
+
+        def check(results):
+            for result in results:
+                epoch = result.epoch
+                assert epoch in columns
+                if epoch not in references:
+                    ref = RXIndex(config)
+                    ref.build(columns[epoch])
+                    references[epoch] = ref
+                queries = queries_of[result.request_id]
+                expected = references[epoch].point_lookup(queries)
+                assert np.array_equal(
+                    result.result_rows(), expected.result_rows
+                ), "cache served a result from a different epoch"
+
+        arrival = 0.0
+        for step in range(30):
+            action = rng.random()
+            if action < 0.3:
+                lo = int(rng.integers(0, 512))
+                hi = lo + int(rng.integers(64, 512))
+                new_keys = shifted(content, lo, hi)
+                outcome = service.update(new_keys)
+                if isinstance(outcome, UpdateFailed):
+                    columns[service.index.epoch - 1] = new_keys
+                    columns[service.index.epoch] = content
+                else:
+                    content = new_keys
+                    columns[service.index.epoch] = content
+            else:
+                queries = query_pool[int(rng.integers(0, len(query_pool)))]
+                arrival += 0.01
+                request = service.submit_point(queries, arrival=arrival)
+                queries_of[request.request_id] = queries
+                if rng.random() < 0.7:
+                    check(service.drain())
+        check(service.drain())
+
+
+class TestExceptionSafeFlush:
+    def test_flush_that_raises_cannot_leak_the_snapshot(self):
+        """Bugfix pin discipline: a launch raising mid-flush must release
+        the window's snapshot (no permanently pinned dead epoch) and leave
+        the service able to serve the next window."""
+        keys = dense_shuffled_keys(512, seed=28)
+        index = RXIndex(delta_config())
+        index.build(keys)
+        service = IndexService(index, max_batch=64, max_wait=10.0, cache_capacity=0)
+        snapshot = service.epochs.current()
+
+        def boom(window, snap):
+            raise RuntimeError("mid-flush explosion")
+
+        original = service.scheduler.launch_window
+        service.scheduler.launch_window = boom
+        service.submit_point(keys[:8], arrival=0.0)
+        assert snapshot.pins == 1
+        with pytest.raises(RuntimeError, match="mid-flush explosion"):
+            service.drain()
+        assert snapshot.pins == 0  # released despite the exception
+
+        # The same epoch snapshot serves the next window normally.
+        service.scheduler.launch_window = original
+        service.submit_point(keys[:8], arrival=0.1)
+        (result,) = service.drain()
+        assert result.epoch == snapshot.epoch
+        with pytest.raises(ValueError, match="released more often"):
+            service.epochs.release(snapshot)
+
+    def test_failed_flush_repins_for_requests_beyond_the_window(self):
+        """An exception in one window's launch must not orphan the requests
+        already queued for the next window."""
+        keys = dense_shuffled_keys(512, seed=29)
+        index = RXIndex(delta_config())
+        index.build(keys)
+        service = IndexService(index, max_batch=8, max_wait=10.0, cache_capacity=0)
+
+        calls = {"n": 0}
+        original = service.scheduler.launch_window
+
+        def fail_once(window, snap):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("first window fails")
+            return original(window, snap)
+
+        service.scheduler.launch_window = fail_once
+        service.submit_point(keys[:8], arrival=0.0)  # window 1
+        service.submit_point(keys[8:16], arrival=0.1)  # window 2
+        with pytest.raises(RuntimeError, match="first window fails"):
+            service.drain()
+        # The second window was re-pinned and still serves.
+        results = service.drain()
+        assert len(results) == 1
+        assert results[0].num_lookups == 8
 
 
 class TestEpochManager:
