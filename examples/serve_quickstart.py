@@ -35,7 +35,12 @@ def serve(index, max_batch, cache_capacity):
 
 def main() -> None:
     keys = dense_shuffled_keys(NUM_KEYS, seed=1)
-    index = RXIndex(RXConfig.paper_default().with_delta_updates(shard_bits=4))
+    # The zero-copy shared-memory build backend: workers read inputs and
+    # write sub-trees through /dev/shm views, so only task descriptors are
+    # ever pickled (stats()["build"] below shows the byte split).
+    index = RXIndex(
+        RXConfig.paper_default().with_delta_updates(shard_bits=4, backend="shm")
+    )
     index.build(keys)
 
     # ------------------------------------------------------------------ #
@@ -101,6 +106,12 @@ def main() -> None:
     trace = index_stats["trace_counters"]
     print(f"  trace_counters          rays={trace['rays']}, "
           f"node_visits={trace['node_visits']}, prim_tests={trace['prim_tests']}")
+    build = index_stats["build"]
+    print(f"  build                   backend={build['backend']}, "
+          f"workers={build['workers_used']}, shards={build['shards']}, "
+          f"shared={build['bytes_shared']:,}B, "
+          f"pickled={build['bytes_pickled']:,}B, "
+          f"wall={build['wall_seconds'] * 1e3:.1f}ms")
     print(f"  epochs                  {stats['epochs']}")
 
 

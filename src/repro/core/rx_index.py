@@ -18,6 +18,7 @@ indexes.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -113,6 +114,8 @@ class RXIndex(GpuIndex):
         self._accel = None
         self._pipeline: Pipeline | None = None
         self._primitive_handle: int | None = None
+        #: wall-clock of the last accel build or delta update (seconds)
+        self._last_build_seconds: float | None = None
         #: Monotonically increasing accel-state counter: -1 before the first
         #: build, bumped by every build() and update() that swaps in a new
         #: accel state.  The serving layer's epoch snapshots key on it.
@@ -142,6 +145,7 @@ class RXIndex(GpuIndex):
             morton_bits=self.config.morton_bits,
             shard_bits=self.config.shard_bits,
             workers=self.config.build_workers,
+            backend=self.config.build_backend,
         )
 
     def _make_build_input(self, keys: np.ndarray):
@@ -171,12 +175,14 @@ class RXIndex(GpuIndex):
         self._primitive_handle = self.context.memory.alloc(
             "rx_primitive_buffer", build_input.primitive_bytes, temporary=True
         )
+        build_t0 = time.perf_counter()
         self._accel = accel_build(
             self.context,
             build_input,
             flags=self._build_flags(),
             build_options=self._bvh_options(),
         )
+        self._last_build_seconds = time.perf_counter() - build_t0
         compaction_stats = {}
         if self.config.compaction:
             result = accel_compact(self.context, self._accel)
@@ -395,7 +401,9 @@ class RXIndex(GpuIndex):
         if self.config.update_policy is UpdatePolicy.DELTA_SHARD:
             self._store_column(new_keys, new_values, key_bits=64)
             build_input = self._make_build_input(self.keys)
+            build_t0 = time.perf_counter()
             delta = accel_delta_update(self.context, self._accel, build_input)
+            self._last_build_seconds = time.perf_counter() - build_t0
             # The stitched tree object was swapped; rebind the pipeline.
             self._pipeline = Pipeline(
                 self.context, self._accel, max_frontier=self.max_frontier
@@ -520,9 +528,41 @@ class RXIndex(GpuIndex):
             "device_bytes_in_use": self.context.memory.current_bytes,
             "device_bytes_peak": self.context.memory.peak_bytes,
             "intersection_pack_warm": buffer.intersection_pack_warm,
+            "build": self._build_stats_block(forest),
             "trace_counters": self._pipeline.engine.counters.as_dict()
             if self._pipeline is not None
             else {},
+        }
+
+    def _build_stats_block(self, forest) -> dict:
+        """The ``stats()["build"]`` telemetry: what the last accel build (or
+        delta update) moved and spent.  Single-tree builds have no pool and
+        no shared blocks, so they report a synthesized serial entry."""
+        telemetry = forest.telemetry if forest is not None else None
+        if telemetry is None:
+            return {
+                "backend": "serial",
+                "workers_requested": 1,
+                "workers_used": 1,
+                "shards": 1,
+                "delegated_shards": 0,
+                "bytes_shared": 0,
+                "bytes_pickled": 0,
+                "tasks": 0,
+                "wall_seconds": self._last_build_seconds,
+            }
+        return {
+            "backend": telemetry.backend,
+            "workers_requested": telemetry.workers_requested,
+            "workers_used": telemetry.workers_used,
+            "shards": telemetry.shards,
+            "delegated_shards": telemetry.delegated_shards,
+            "bytes_shared": telemetry.bytes_shared,
+            "bytes_pickled": telemetry.bytes_pickled,
+            "tasks": telemetry.tasks,
+            "wall_seconds": self._last_build_seconds
+            if self._last_build_seconds is not None
+            else telemetry.wall_seconds,
         }
 
     def memory_footprint(self, target_keys: int | None = None) -> MemoryFootprint:

@@ -84,6 +84,14 @@ class BvhBuildOptions:
         Worker processes used to build the shards of a sharded build.  ``1``
         (the default) builds every shard serially in-process; any value is
         bit-identical per shard, so results never depend on the pool size.
+    backend:
+        Executor of a sharded build.  ``"fork"`` (the default) hands each
+        shard to a fork pool and pickles rows and sub-trees through the pool
+        channel; ``"shm"`` stages inputs and outputs in
+        ``multiprocessing.shared_memory`` blocks so workers read and write
+        zero-copy views in place and only O(1) job descriptors are pickled
+        (:mod:`repro.rtx.forest`).  Like ``workers``, this is purely an
+        execution-schedule knob: every backend emits bit-identical trees.
     """
 
     builder: str = "lbvh"
@@ -94,6 +102,7 @@ class BvhBuildOptions:
     allow_compaction: bool = True
     shard_bits: int = 0
     workers: int = 1
+    backend: str = "fork"
 
     def validate(self) -> None:
         if self.builder not in ("lbvh", "sah", "median"):
@@ -116,6 +125,13 @@ class BvhBuildOptions:
             raise ValueError("shard_bits cannot exceed the Morton code width")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.backend not in ("fork", "shm"):
+            raise ValueError(f"unknown build backend {self.backend!r}")
+        if self.backend == "shm" and self.shard_bits < 1:
+            raise ValueError(
+                "the shm build backend operates on the sharded forest "
+                "pipeline; it requires shard_bits >= 1"
+            )
 
 
 @dataclass
@@ -338,6 +354,7 @@ def build_lbvh_over_sorted(
     prim_mins: np.ndarray,
     prim_maxs: np.ndarray,
     options: BvhBuildOptions,
+    out: dict[str, np.ndarray] | None = None,
 ) -> Bvh:
     """Build an LBVH over primitives *already sorted* by Morton code.
 
@@ -347,10 +364,15 @@ def build_lbvh_over_sorted(
     them into its global primitive stream.  Runs the same level-synchronous
     machinery as :func:`build_bvh`, which makes a shard's subtree
     bit-identical to the corresponding subtree of the single-tree build.
+
+    ``out`` optionally provides the destination node arrays (keys ``left``,
+    ``right``, ``first_prim``, ``prim_count``, ``node_mins``, ``node_maxs``,
+    each with capacity for ``2 * m - 1`` nodes) — the shm backend passes
+    shared-memory views here so workers emit their sub-trees in place.
     """
     splitter = _LbvhSplitter(np.asarray(sorted_codes, dtype=np.uint64), options)
     builder = _LevelSynchronousBuilder(prim_mins, prim_maxs, options, splitter)
-    bvh = builder.build(np.arange(sorted_codes.shape[0], dtype=np.int64))
+    bvh = builder.build(np.arange(sorted_codes.shape[0], dtype=np.int64), out=out)
     bvh.num_primitives = int(sorted_codes.shape[0])
     return bvh
 
@@ -433,7 +455,7 @@ class _LevelSynchronousBuilder:
         self.options = options
         self.splitter = splitter
 
-    def build(self, order: np.ndarray) -> Bvh:
+    def build(self, order: np.ndarray, out: dict[str, np.ndarray] | None = None) -> Bvh:
         prim_indices = np.array(order, dtype=np.int64, copy=True)
         n = prim_indices.shape[0]
         cap = max(2 * n - 1, 1)
@@ -509,12 +531,24 @@ class _LevelSynchronousBuilder:
         )
 
         perm = _dfs_renumbering(left, right, bfs_levels)
-        out_mins = np.empty((num_nodes, 3), dtype=np.float32)
-        out_maxs = np.empty((num_nodes, 3), dtype=np.float32)
-        out_left = np.empty(num_nodes, dtype=np.int64)
-        out_right = np.empty(num_nodes, dtype=np.int64)
-        out_first = np.empty(num_nodes, dtype=np.int64)
-        out_count = np.empty(num_nodes, dtype=np.int64)
+        if out is None:
+            out_mins = np.empty((num_nodes, 3), dtype=np.float32)
+            out_maxs = np.empty((num_nodes, 3), dtype=np.float32)
+            out_left = np.empty(num_nodes, dtype=np.int64)
+            out_right = np.empty(num_nodes, dtype=np.int64)
+            out_first = np.empty(num_nodes, dtype=np.int64)
+            out_count = np.empty(num_nodes, dtype=np.int64)
+        else:
+            # Caller-provided destination views (shared-memory blocks for the
+            # shm backend): the DFS-ordered scatter below writes the final
+            # layout directly into them, so the emitted Bvh aliases the
+            # caller's storage with no copy-out pass.
+            out_mins = out["node_mins"][:num_nodes]
+            out_maxs = out["node_maxs"][:num_nodes]
+            out_left = out["left"][:num_nodes]
+            out_right = out["right"][:num_nodes]
+            out_first = out["first_prim"][:num_nodes]
+            out_count = out["prim_count"][:num_nodes]
         out_mins[perm] = node_mins.astype(np.float32)
         out_maxs[perm] = node_maxs.astype(np.float32)
         safe_left = np.maximum(left, 0)

@@ -111,6 +111,7 @@ def accel_build(
         allow_compaction=bool(flags & BuildFlags.ALLOW_COMPACTION),
         shard_bits=options.shard_bits,
         workers=options.workers,
+        backend=options.backend,
     )
 
     buffer = build_input.primitive_buffer()

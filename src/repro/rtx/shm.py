@@ -1,0 +1,125 @@
+"""Shared-memory block lifecycle for the zero-copy build backend.
+
+The shm build backend (:mod:`repro.rtx.forest` with
+``BvhBuildOptions.backend == "shm"``) moves every large build array —
+primitive bounds, Morton grid, bucket ids, the primitive stream, the
+per-shard scratch trees and the final node arrays — into
+``multiprocessing.shared_memory`` blocks.  Worker processes inherit numpy
+views of the blocks through fork and read/write them in place, so a task
+descriptor is the only thing that ever crosses the pool's pickle channel.
+
+Lifetime rules (the part that is easy to get wrong):
+
+* A block's **name** (its ``/dev/shm`` entry) is removed by ``unlink()``;
+  the **mapping** stays valid until every process that mapped it exits or
+  drops its references.  Views handed out by an arena therefore survive an
+  unlink — which is exactly what epoch snapshots need: the serving layer
+  pins a ``Bvh`` whose arrays are shm views long after the forest that
+  built them was replaced.
+* A numpy view created over ``SharedMemory.buf`` keeps the underlying
+  ``mmap`` *object* alive (it becomes the view's base) but holds **no**
+  PEP-3118 export on it — so ``SharedMemory.close()`` (including the one
+  ``__del__`` runs when the block object is collected) would silently
+  ``munmap`` under live views and turn every later array access into a
+  segfault.  :meth:`ShmArena.allocate` therefore *detaches* the mapping
+  from the block right after creating the view: the mapping's lifetime
+  becomes exactly the views' lifetime (the ``mmap`` unmaps itself when
+  the last view is collected), and ``close()`` shrinks to a descriptor
+  close that is safe at any time.
+* Owners attach a :func:`weakref.finalize`-based release to the object
+  whose lifetime governs the blocks (the stitched ``Bvh`` for per-epoch
+  blocks, the build state for the persistent input blocks), so normal
+  garbage collection unlinks everything without explicit calls.  Error
+  paths (worker exception mid-build) release eagerly instead, leaving no
+  ``/dev/shm`` entry behind — :func:`live_block_names` exposes the
+  registry the leak tests probe.
+"""
+
+from __future__ import annotations
+
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Names of every shm block this process created and has not yet unlinked.
+#: Purely diagnostic: the lifecycle tests assert it drains back to empty.
+_LIVE_NAMES: set[str] = set()
+
+
+def live_block_names() -> frozenset[str]:
+    """Names of the process's still-linked shm blocks (leak probe)."""
+    return frozenset(_LIVE_NAMES)
+
+
+def release_blocks(blocks: list[shared_memory.SharedMemory]) -> None:
+    """Unlink every block (idempotent) and close its file descriptor.
+
+    Safe to call multiple times and from :mod:`weakref` finalizers.  The
+    blocks were detached by :meth:`ShmArena.allocate`, so ``close()`` only
+    closes the descriptor — the mapping itself lives exactly as long as
+    the numpy views over it and is reclaimed when the last one is
+    collected.
+    """
+    for block in blocks:
+        try:
+            block.unlink()
+        except FileNotFoundError:
+            pass
+        _LIVE_NAMES.discard(block.name)
+        block.close()
+
+
+class ShmArena:
+    """A group of shared-memory numpy arrays with one release point.
+
+    ``allocate`` creates one block per array and returns a zero-copy view;
+    the arena keeps the block objects alive so the views stay valid.  Call
+    :meth:`release` on error paths, or :meth:`attach_finalizer` to tie the
+    group's lifetime to an owner object (release runs when the owner is
+    garbage collected, and at interpreter shutdown at the latest).
+    """
+
+    def __init__(self, tag: str = "") -> None:
+        self.tag = tag
+        self.blocks: list[shared_memory.SharedMemory] = []
+        self.arrays: dict[str, np.ndarray] = {}
+        self.total_bytes = 0
+
+    def allocate(self, name: str, shape, dtype) -> np.ndarray:
+        """Create one shm-backed array and return its view."""
+        if name in self.arrays:
+            raise ValueError(f"arena {self.tag!r} already holds {name!r}")
+        shape = tuple(int(s) for s in (shape if np.iterable(shape) else (shape,)))
+        nbytes = max(int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize, 1)
+        block = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.blocks.append(block)
+        _LIVE_NAMES.add(block.name)
+        array = np.ndarray(shape, dtype=dtype, buffer=block.buf)
+        # Detach the mapping from the block object (see the module
+        # docstring): the view's base chain holds the mmap object without
+        # a buffer export, so any later ``close()`` — explicit or from the
+        # block's ``__del__`` — would munmap under the view.  After this,
+        # the mmap is owned by the views alone and ``close()`` only closes
+        # the descriptor.
+        buf, block._buf = block._buf, None
+        buf.release()
+        block._mmap = None
+        self.arrays[name] = array
+        self.total_bytes += nbytes
+        return array
+
+    def names(self) -> list[str]:
+        return [block.name for block in self.blocks]
+
+    def release(self) -> None:
+        """Unlink every block now (error paths); idempotent."""
+        release_blocks(self.blocks)
+
+    def attach_finalizer(self, owner) -> None:
+        """Release the blocks when ``owner`` is garbage collected.
+
+        The finalizer captures only the block list (not the arena, not any
+        view), so it neither keeps the arrays alive nor runs early.
+        """
+        weakref.finalize(owner, release_blocks, self.blocks)

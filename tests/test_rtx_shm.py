@@ -1,0 +1,166 @@
+"""Shared-memory build backend: block lifecycle and failure paths.
+
+The bit-identity of the shm backend's *output* is pinned by the forest suite
+(backend axis) and the differential harness; this suite pins the part no
+array comparison can see — that every ``/dev/shm`` block the backend creates
+is unlinked again, no matter how the build ends:
+
+* normal builds and delta chains drain back to zero live blocks once the
+  forests are garbage collected (epoch snapshots may pin the *mapping*, but
+  never the name),
+* a worker exception mid-build — serial or pooled — releases every block
+  eagerly before the error propagates (probed via ``SharedMemory`` name
+  reopening, which must raise ``FileNotFoundError``),
+* a failed delta update drops the cached state so the next update falls
+  back to a full rebuild, still bit-identical, still leak-free.
+"""
+
+import gc
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.rtx import forest as forest_mod
+from repro.rtx import shm
+from repro.rtx.bvh import BvhBuildOptions, build_bvh, bvh_arrays_diff
+from repro.rtx.forest import build_forest, delta_update_forest
+from repro.rtx.geometry import TriangleBuffer, make_triangle_vertices
+
+
+def _buffer(points: np.ndarray) -> TriangleBuffer:
+    return TriangleBuffer(make_triangle_vertices(points))
+
+
+def _points(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, 1e5, size=(n, 3))
+
+
+def _options(workers: int = 1, shard_bits: int = 4) -> BvhBuildOptions:
+    return BvhBuildOptions(shard_bits=shard_bits, workers=workers, backend="shm")
+
+
+def _assert_no_new_blocks(baseline: frozenset) -> None:
+    gc.collect()
+    leaked = shm.live_block_names() - baseline
+    assert not leaked, f"leaked shm blocks: {sorted(leaked)}"
+
+
+def _boom(task):
+    """Module-level so the fork pool can pickle it by qualified name."""
+    raise ValueError("injected worker failure")
+
+
+class TestLifecycle:
+    def test_blocks_drain_after_gc(self):
+        baseline = shm.live_block_names()
+        forest = build_forest(_buffer(_points(1500)), _options())
+        assert len(shm.live_block_names() - baseline) > 0
+        del forest
+        _assert_no_new_blocks(baseline)
+
+    def test_delta_chain_drains_after_gc(self):
+        baseline = shm.live_block_names()
+        points = _points(2000, seed=1)
+        buf = _buffer(points)
+        forest = build_forest(buf, _options(shard_bits=6))
+        moved = points.copy()
+        moved[50] = points[60]  # interior move: bounds unchanged
+        new_buf = _buffer(moved)
+        updated, stats = delta_update_forest(forest, buf, new_buf)
+        assert not stats.noop
+        del forest, updated
+        _assert_no_new_blocks(baseline)
+
+    def test_epoch_snapshot_outlives_the_forest(self):
+        # The serving layer pins a Bvh across updates: its shm-view arrays
+        # must stay readable after the owning forest (and even the block
+        # *names*) are gone.
+        baseline = shm.live_block_names()
+        points = _points(1200, seed=2)
+        buf = _buffer(points)
+        forest = build_forest(buf, _options())
+        pinned = forest.bvh
+        want_left = pinned.left.copy()
+        moved = points.copy()
+        moved[7] = points[8]
+        updated, _ = delta_update_forest(forest, buf, _buffer(moved))
+        del forest, updated
+        gc.collect()
+        assert np.array_equal(pinned.left, want_left)
+        assert pinned.node_count == want_left.shape[0]
+        del pinned
+        _assert_no_new_blocks(baseline)
+
+    def test_workers_1_shm_is_serial_bit_for_bit(self):
+        # More shards than keys + empty shards in the same column.
+        points = _points(9, seed=3)
+        single = build_bvh(_buffer(points), BvhBuildOptions(max_leaf_size=1))
+        forest = build_forest(
+            _buffer(points),
+            BvhBuildOptions(shard_bits=10, max_leaf_size=1, backend="shm"),
+        )
+        assert bvh_arrays_diff(forest.bvh, single) is None
+        assert forest.non_empty_shards < forest.num_shards
+
+
+class TestFailurePaths:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_worker_exception_unlinks_every_block(self, workers, monkeypatch):
+        baseline = shm.live_block_names()
+        monkeypatch.setattr(forest_mod, "_shm_round1", _boom)
+        with pytest.raises(ValueError, match="injected worker failure"):
+            build_forest(_buffer(_points(800, seed=4)), _options(workers=workers))
+        _assert_no_new_blocks(baseline)
+
+    def test_failed_build_leaves_no_reopenable_names(self, monkeypatch):
+        baseline = shm.live_block_names()
+        seen: list[str] = []
+        original = forest_mod._shm_finalize
+
+        def capture_and_fail(state, epoch, executor, plan, options, n):
+            seen.extend(state.arena.names())
+            seen.extend(epoch.arena.names())
+            raise RuntimeError("injected finalize failure")
+
+        monkeypatch.setattr(forest_mod, "_shm_finalize", capture_and_fail)
+        with pytest.raises(RuntimeError, match="injected finalize failure"):
+            build_forest(_buffer(_points(600, seed=5)), _options())
+        monkeypatch.setattr(forest_mod, "_shm_finalize", original)
+        assert seen, "the failing build must have allocated blocks"
+        for name in seen:
+            # The definitive probe: a released block's name cannot be
+            # attached to again.
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        _assert_no_new_blocks(baseline)
+
+    def test_failed_delta_recovers_with_a_full_rebuild(self, monkeypatch):
+        baseline = shm.live_block_names()
+        points = _points(1600, seed=6)
+        buf = _buffer(points)
+        forest = build_forest(buf, _options(shard_bits=6))
+        moved = points.copy()
+        moved[100] = points[101]
+        new_buf = _buffer(moved)
+
+        original = forest_mod._shm_finalize
+        monkeypatch.setattr(
+            forest_mod,
+            "_shm_finalize",
+            lambda *args: (_ for _ in ()).throw(RuntimeError("injected")),
+        )
+        with pytest.raises(RuntimeError, match="injected"):
+            delta_update_forest(forest, buf, new_buf)
+        monkeypatch.setattr(forest_mod, "_shm_finalize", original)
+
+        # The cached incremental state is gone; the next update must fall
+        # back to a from-scratch build and still come out bit-identical.
+        assert forest._shm_state is None and forest._shm_epoch is None
+        updated, stats = delta_update_forest(forest, buf, new_buf)
+        assert stats.dirty_keys == stats.total_keys  # full rebuild
+        fresh = build_bvh(new_buf, BvhBuildOptions())
+        assert bvh_arrays_diff(updated.bvh, fresh) is None
+        del forest, updated
+        _assert_no_new_blocks(baseline)
