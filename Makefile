@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-diff test-faults bench-smoke bench-strict bench-check bench-serve bench-chaos bench-build
+.PHONY: test test-fast test-diff test-cursor test-faults bench-smoke bench-strict bench-check bench-serve bench-chaos bench-build bench-paging
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,6 +15,11 @@ test-fast:
 # Differential trace harness only; honours DIFF_SEED (CI runs extra seeds).
 test-diff:
 	$(PYTHON) -m pytest -x -q tests/test_trace_differential.py
+
+# Cursor-pagination harness (index-level + serve-level); honours DIFF_SEED
+# (CI runs extra seeds alongside test-diff).
+test-cursor:
+	$(PYTHON) -m pytest -x -q tests/test_cursor_pagination.py tests/test_serve_cursor.py
 
 # Fault-injection + snapshot-integrity harness only; honours FAULT_SEED
 # (CI runs extra seeds).
@@ -50,3 +55,10 @@ bench-build:
 # sizes (check-only, no timings enforced) — also part of CI.
 bench-chaos:
 	$(PYTHON) benchmarks/perf_smoke.py --chaos-only --check-only
+
+# Pagination gate: cursor resume vs full-prefix rescan, page bit-identity
+# and counter ordering asserted at small sizes (check-only, no timings
+# enforced) — also part of CI.  The >=5x resume-vs-rescan target is
+# enforced by the full bench ("bench-strict" / "--paging-only --strict").
+bench-paging:
+	$(PYTHON) benchmarks/perf_smoke.py --paging-only --check-only

@@ -47,7 +47,12 @@ Targets (checked, reported, and enforced under ``--strict``):
   one-query-per-launch serving (the solo side is timed on a 2^12-request
   prefix of the same stream — recorded as ``solo_requests_measured`` — and
   its per-request results are verified bit-identical to the demuxed
-  coalesced ones).
+  coalesced ones),
+* keyset-cursor pagination (2^20-key table, k=64 pages over a 2^16-row
+  range): resuming the deepest page from its cursor at least 5x faster
+  than the OFFSET-style full-prefix rescan, both pages verified
+  bit-identical to the reference ``(key, rowID)`` order
+  (``--paging-only``; ``make bench-paging`` runs the check-only CI gate).
 
 Every entry now carries ``new_seconds_p50`` / ``new_seconds_p95`` /
 ``timing_repeats`` next to the historical best-of-N ``new_seconds``
@@ -88,6 +93,7 @@ INTERSECT_SPEEDUP_TARGET = 2.0
 FIRSTK_SPEEDUP_TARGET = 2.0
 FOREST_BUILD_SPEEDUP_TARGET = 2.0
 SERVE_SPEEDUP_TARGET = 5.0
+PAGING_SPEEDUP_TARGET = 5.0
 #: CPUs the host must expose before the parallel forest-build target is
 #: enforced (a pool cannot beat the serial build without real concurrency).
 FOREST_TARGET_MIN_CPUS = 4
@@ -627,6 +633,96 @@ def bench_serve(
     return entry
 
 
+def bench_paging(
+    log2_keys: int, log2_range_rows: int, page_size: int = 64, compare: bool = True
+) -> dict:
+    """Keyset-cursor page resume vs the OFFSET-style full-prefix rescan.
+
+    A dense ``2**log2_keys``-key table paged through a ``2**log2_range_rows``-
+    row ordered range scan in ``page_size``-row pages.  The timed contenders
+    are the two ways a client can fetch the scan's *deepest* full page:
+
+    * **resume** — one ``order="key"`` lookup carrying the cursor of the
+      previous page: the range ray starts just past the cursor's
+      ``(key, rowID)``, so traversal and the ordered pool only ever touch
+      O(page) qualifying entries;
+    * **rescan** — the same lookup without a cursor but with
+      ``limit = consumed + page_size``: the ordered pool re-pays every row
+      of the prefix before the page (what a LIMIT/OFFSET plan does).
+
+    Both pages are verified bit-identical to the reference ``(key, rowID)``
+    order, the resumed page's primitive tests must come out strictly below
+    the rescan's, and the wall-clock ratio is the ``paging`` target.
+    """
+    from repro.core.config import RXConfig
+    from repro.core.cursor import encode_cursor
+    from repro.core.rx_index import RXIndex
+    from repro.workloads import dense_shuffled_keys
+
+    n = 2**log2_keys
+    span = 2**log2_range_rows
+    keys = dense_shuffled_keys(n, seed=log2_keys + 41)
+    index = RXIndex(RXConfig.paper_default())
+    index.build(keys)
+    lower = (n - span) // 2
+    upper = lower + span - 1
+    lowers = np.array([lower], dtype=np.uint64)
+    uppers = np.array([upper], dtype=np.uint64)
+
+    # Reference (key, rowID) order of the whole scan.
+    sel = (keys >= np.uint64(lower)) & (keys <= np.uint64(upper))
+    rows = np.nonzero(sel)[0].astype(np.uint64)
+    golden = rows[np.lexsort((rows, keys[sel]))]
+    total = golden.shape[0]
+    assert total == span, "dense column must qualify exactly span rows"
+    consumed = total - page_size  # the deepest full page of the scan
+    cursor_row = int(golden[consumed - 1])
+    cursor = encode_cursor(int(keys[cursor_row]), cursor_row)
+
+    def resumed():
+        return index.range_lookup(
+            lowers, uppers, limit=page_size, order="key", cursor=cursor
+        )
+
+    def rescan():
+        return index.range_lookup(
+            lowers, uppers, limit=consumed + page_size, order="key"
+        )
+
+    resumed()  # warm-up
+    timing = _time_stats(resumed, repeats=3)
+    entry = {
+        "path": "paging",
+        "log2_keys": log2_keys,
+        "log2_range_rows": log2_range_rows,
+        "page_size": page_size,
+        "pages_consumed": consumed // page_size,
+        **timing,
+    }
+    if compare:
+        expected = golden[consumed : consumed + page_size]
+        resume_run, resume_next = resumed()
+        assert np.array_equal(resume_run.row_ids, expected), (
+            "resumed page diverged from the reference order"
+        )
+        rescan_run, _ = rescan()
+        assert np.array_equal(rescan_run.row_ids, golden[: consumed + page_size]), (
+            "prefix rescan diverged from the reference order"
+        )
+        assert np.array_equal(rescan_run.row_ids[consumed:], expected)
+        # The budget bugfix: resuming inside the column must not re-pay the
+        # prefix — the resumed page's primitive tests stay O(page).
+        assert (
+            resume_run.stats["total_prim_tests"]
+            < rescan_run.stats["total_prim_tests"]
+        ), "cursor resume did not skip the prefix work"
+        entry["prim_tests_resume"] = resume_run.stats["total_prim_tests"]
+        entry["prim_tests_rescan"] = rescan_run.stats["total_prim_tests"]
+        entry["ref_seconds"] = _time(rescan, repeats=1)
+        entry["speedup"] = entry["ref_seconds"] / entry["new_seconds"]
+    return entry
+
+
 def bench_chaos_serve(
     log2_keys: int,
     log2_requests: int,
@@ -846,6 +942,11 @@ def run_smoke(quick: bool = False) -> list[dict]:
         entries.append(bench_chaos_serve(12, 10, max_batch=256))
     else:
         entries.append(bench_chaos_serve(16, 13, max_batch=1024))
+    # Keyset-cursor pagination: resumed page vs full-prefix rescan.
+    if quick:
+        entries.append(bench_paging(14, 10, page_size=64))
+    else:
+        entries.append(bench_paging(20, 16, page_size=64))
     return entries
 
 
@@ -943,6 +1044,13 @@ def check_targets(entries: list[dict]) -> list[str]:
                     f"serve 2^{entry['log2_requests']} Zipf requests: "
                     f"{speedup:.2f}x < {SERVE_SPEEDUP_TARGET}x"
                 )
+        if entry["path"] == "paging" and entry["log2_keys"] >= 20:
+            if speedup < PAGING_SPEEDUP_TARGET:
+                problems.append(
+                    f"paging 2^{entry['log2_range_rows']}-row scan, "
+                    f"k={entry['page_size']}: resume {speedup:.2f}x < "
+                    f"{PAGING_SPEEDUP_TARGET}x vs prefix rescan"
+                )
     return problems
 
 
@@ -973,6 +1081,10 @@ def format_table(entries: list[dict]) -> str:
             config = (
                 f"2^{entry['log2_requests']} req "
                 f"err={entry['error_rate']:.1%}"
+            )
+        elif entry["path"] == "paging":
+            config = (
+                f"2^{entry['log2_range_rows']} rows k={entry['page_size']}"
             )
         else:
             config = f"2^{entry['log2_keys']} keys"
@@ -1014,6 +1126,14 @@ def main(argv: list[str] | None = None) -> int:
         help="run only the fault-injection serving scenario (combine with "
         "--check-only for the CI gate: small sizes, per-epoch bit-identity "
         "and explicit-outcome accounting asserted, no artifact writes)",
+    )
+    parser.add_argument(
+        "--paging-only",
+        action="store_true",
+        help="run only the cursor-pagination scenario (combine with "
+        "--check-only for the CI gate: small sizes, page bit-identity and "
+        "O(page)-vs-O(prefix) counter ordering asserted, no artifact "
+        "writes; make bench-paging)",
     )
     parser.add_argument(
         "--build-only",
@@ -1073,6 +1193,12 @@ def main(argv: list[str] | None = None) -> int:
         print("\nchaos serve correctness checks passed (timings not enforced)")
         return 0
 
+    if args.paging_only and args.check_only:
+        entries = [bench_paging(14, 10, page_size=64)]
+        print(format_table(entries))
+        print("\npaging equivalence checks passed (timings not enforced)")
+        return 0
+
     if args.check_only:
         # Every bench function asserts observable equivalence against its
         # reference on the way; small sizes keep this cheap enough for CI.
@@ -1092,6 +1218,12 @@ def main(argv: list[str] | None = None) -> int:
             bench_chaos_serve(12, 10, max_batch=256)
             if args.quick
             else bench_chaos_serve(16, 13, max_batch=1024)
+        ]
+    elif args.paging_only:
+        entries = [
+            bench_paging(14, 10, page_size=64)
+            if args.quick
+            else bench_paging(20, 16, page_size=64)
         ]
     else:
         entries = run_smoke(quick=args.quick)

@@ -30,6 +30,40 @@ from repro.gpusim.counters import WorkProfile
 MISS_SENTINEL = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
+def keyset_page_slice(
+    sorted_keys: np.ndarray,
+    sorted_rows: np.ndarray,
+    lower: int,
+    upper: int,
+    cursor_key: int | None = None,
+    cursor_row: int | None = None,
+) -> tuple[int, int]:
+    """Slice bounds ``[lo, hi)`` of a keyset page over a sorted run.
+
+    Selects the entries of a ``(key, rowID)``-sorted run that fall in the
+    inclusive range ``[lower, upper]`` *strictly after* the cursor position
+    — the resume arithmetic every sorted-run baseline (SA/B+/LSM levels)
+    shares.  Rows ascend within every equal-key segment (the runs come from
+    stable sorts over ascending rowIDs), so a cursor landing inside a
+    duplicate-key run resumes mid-segment with one extra ``searchsorted``
+    over the segment's rows: rows already paid out are skipped, none are
+    re-emitted and none are dropped.
+    """
+    lo = int(np.searchsorted(sorted_keys, np.uint64(lower), side="left"))
+    hi = int(np.searchsorted(sorted_keys, np.uint64(upper), side="right"))
+    if cursor_key is not None:
+        ck = np.uint64(cursor_key)
+        run_lo = int(np.searchsorted(sorted_keys, ck, side="left"))
+        run_hi = int(np.searchsorted(sorted_keys, ck, side="right"))
+        skip = int(
+            np.searchsorted(
+                sorted_rows[run_lo:run_hi], np.uint64(cursor_row), side="right"
+            )
+        )
+        lo = max(lo, run_lo + skip)
+    return lo, max(hi, lo)
+
+
 def expand_slices(start: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """Flatten per-query slices ``[start[i], start[i] + counts[i])`` into one
     int64 index array (the batched-gather idiom shared by every sorted-run
@@ -82,6 +116,10 @@ class LookupRun:
     hits_per_lookup: np.ndarray
     aggregate: int
     stats: dict = field(default_factory=dict)
+    #: for ordered (``order="key"``) lookups: the page's rowIDs in
+    #: ``(key, row_id)`` order; ``None`` for unordered lookups, whose rowIDs
+    #: arrive in traversal order and are only summarised above.
+    row_ids: np.ndarray | None = None
 
     @property
     def total_hits(self) -> int:

@@ -21,6 +21,7 @@ from repro.baselines.base import (
     MemoryFootprint,
     MISS_SENTINEL,
     expand_slices,
+    keyset_page_slice,
 )
 from repro.gpusim.counters import WorkProfile
 from repro.gpusim.sorting import DeviceRadixSort
@@ -148,15 +149,100 @@ class GpuLsmTree(GpuIndex):
         return self._probe_all_levels(queries, queries, kind="point")
 
     def range_lookup(
-        self, lowers: np.ndarray, uppers: np.ndarray, limit: int | None = None
+        self,
+        lowers: np.ndarray,
+        uppers: np.ndarray,
+        limit: int | None = None,
+        order: str | None = None,
+        cursor: str | None = None,
     ) -> LookupRun:
         if not self._levels:
             raise RuntimeError("build() must be called before lookups")
+        if order is not None:
+            if order != "key":
+                raise ValueError(f"order must be None or 'key', got {order!r}")
+            return self._ordered_range_page(lowers, uppers, limit, cursor)
+        if cursor is not None:
+            raise ValueError("cursor resume requires order='key'")
         if limit is not None and limit < 1:
             raise ValueError(f"limit must be at least 1, got {limit}")
         lowers = np.asarray(lowers, dtype=np.uint64)
         uppers = np.asarray(uppers, dtype=np.uint64)
         return self._probe_all_levels(lowers, uppers, kind="range", limit=limit)
+
+    def _ordered_range_page(self, lowers, uppers, limit, cursor):
+        """One keyset page merged across all levels: ``(run, next_cursor)``.
+
+        Every level is its own sorted run, so a globally ordered page is a
+        k-way merge: take up to ``limit`` candidates past the cursor from
+        each level (the global first ``limit`` after the cursor can only
+        come from those), then keep the ``limit`` smallest under the global
+        ``(key, rowID)`` order.
+        """
+        from repro.core.cursor import encode_cursor, parse_cursor
+
+        lowers = np.asarray(lowers, dtype=np.uint64).reshape(-1)
+        uppers = np.asarray(uppers, dtype=np.uint64).reshape(-1)
+        if lowers.shape[0] != 1 or uppers.shape[0] != 1:
+            raise ValueError("order='key' pages one range at a time")
+        if limit is None:
+            raise ValueError("order='key' requires a page size (limit)")
+        limit = int(limit)
+        if limit < 1:
+            raise ValueError(f"limit must be at least 1, got {limit}")
+        cur = parse_cursor(cursor)
+
+        cand_keys: list[np.ndarray] = []
+        cand_rows: list[np.ndarray] = []
+        search_depth = 0.0
+        for level_keys, level_rows in self._levels:
+            search_depth += max(math.ceil(math.log2(max(level_keys.shape[0], 2))), 1)
+            lo, hi = keyset_page_slice(
+                level_keys,
+                level_rows,
+                int(lowers[0]),
+                int(uppers[0]),
+                cur.key if cur is not None else None,
+                cur.row_id if cur is not None else None,
+            )
+            take = min(limit, hi - lo)
+            if take:
+                cand_keys.append(level_keys[lo : lo + take])
+                cand_rows.append(level_rows[lo : lo + take])
+
+        if cand_keys:
+            keys = np.concatenate(cand_keys)
+            rows = np.concatenate(cand_rows)
+            order_idx = np.lexsort((rows, keys))[:limit]
+            keys = keys[order_idx]
+            rows = rows[order_idx]
+        else:
+            keys = np.zeros(0, dtype=np.uint64)
+            rows = np.zeros(0, dtype=np.uint64)
+        take = int(rows.shape[0])
+
+        result_rows = np.full(1, MISS_SENTINEL, dtype=np.uint64)
+        if take:
+            result_rows[0] = rows[0]
+        run = LookupRun(
+            kind="range",
+            num_lookups=1,
+            result_rows=result_rows,
+            hits_per_lookup=np.array([take], dtype=np.int64),
+            aggregate=self._aggregate(rows.astype(np.int64)),
+            stats={
+                "levels_probed": float(self.num_levels),
+                "binary_search_depth": search_depth,
+                "range_limit": limit,
+                "trace_mode": "ordered_k",
+                "resumed": cur is not None,
+            },
+            row_ids=rows.copy(),
+        )
+        next_cursor = (
+            encode_cursor(int(keys[-1]), int(rows[-1])) if take == limit else None
+        )
+        return run, next_cursor
 
     # ------------------------------------------------------------------ #
     # costing

@@ -21,6 +21,7 @@ from repro.baselines.base import (
     MemoryFootprint,
     MISS_SENTINEL,
     expand_slices,
+    keyset_page_slice,
 )
 from repro.gpusim.counters import WorkProfile
 from repro.gpusim.sorting import DeviceRadixSort
@@ -106,16 +107,32 @@ class SortedArrayIndex(GpuIndex):
         )
 
     def range_lookup(
-        self, lowers: np.ndarray, uppers: np.ndarray, limit: int | None = None
+        self,
+        lowers: np.ndarray,
+        uppers: np.ndarray,
+        limit: int | None = None,
+        order: str | None = None,
+        cursor: str | None = None,
     ) -> LookupRun:
         """Forward scan from each lower bound, optionally capped at ``limit``.
 
         With a limit the scan stops after ``limit`` qualifying entries (the
         LIMIT-k pushdown every sorted run supports for free), so the scanned
         entry count — and therefore the costed bytes — reflects the cap.
+
+        ``order="key"`` returns one ordered page ``(run, next_cursor)``
+        exactly like :meth:`repro.core.rx_index.RXIndex.range_lookup`: the
+        sorted run *is* the key order, so a page is one slice after the
+        keyset resume point.
         """
         if self._sorted_keys is None:
             raise RuntimeError("build() must be called before lookups")
+        if order is not None:
+            if order != "key":
+                raise ValueError(f"order must be None or 'key', got {order!r}")
+            return self._ordered_range_page(lowers, uppers, limit, cursor)
+        if cursor is not None:
+            raise ValueError("cursor resume requires order='key'")
         lowers = np.asarray(lowers, dtype=np.uint64)
         uppers = np.asarray(uppers, dtype=np.uint64)
         if lowers.shape != uppers.shape:
@@ -152,6 +169,55 @@ class SortedArrayIndex(GpuIndex):
             aggregate=aggregate,
             stats=stats,
         )
+
+    def _ordered_range_page(self, lowers, uppers, limit, cursor):
+        """One keyset page of the sorted run: ``(run, next_cursor)``."""
+        from repro.core.cursor import encode_cursor, parse_cursor
+
+        lowers = np.asarray(lowers, dtype=np.uint64).reshape(-1)
+        uppers = np.asarray(uppers, dtype=np.uint64).reshape(-1)
+        if lowers.shape[0] != 1 or uppers.shape[0] != 1:
+            raise ValueError("order='key' pages one range at a time")
+        if limit is None:
+            raise ValueError("order='key' requires a page size (limit)")
+        limit = int(limit)
+        if limit < 1:
+            raise ValueError(f"limit must be at least 1, got {limit}")
+        cur = parse_cursor(cursor)
+        lo, hi = keyset_page_slice(
+            self._sorted_keys,
+            self._sorted_rows,
+            int(lowers[0]),
+            int(uppers[0]),
+            cur.key if cur is not None else None,
+            cur.row_id if cur is not None else None,
+        )
+        take = min(limit, hi - lo)
+        page = self._sorted_rows[lo : lo + take]
+        result_rows = np.full(1, MISS_SENTINEL, dtype=np.uint64)
+        if take:
+            result_rows[0] = page[0]
+        run = LookupRun(
+            kind="range",
+            num_lookups=1,
+            result_rows=result_rows,
+            hits_per_lookup=np.array([take], dtype=np.int64),
+            aggregate=self._aggregate(page.astype(np.int64)),
+            stats={
+                "binary_search_depth": self._search_depth(self.num_keys),
+                "entries_scanned": float(take),
+                "range_limit": limit,
+                "trace_mode": "ordered_k",
+                "resumed": cur is not None,
+            },
+            row_ids=page.copy(),
+        )
+        next_cursor = (
+            encode_cursor(int(self._sorted_keys[lo + take - 1]), int(page[-1]))
+            if take == limit
+            else None
+        )
+        return run, next_cursor
 
     # ------------------------------------------------------------------ #
     # costing

@@ -24,6 +24,7 @@ module                    paper result
 ``ablation_builders``     extra — software-BVH builder / leaf size ablation
 ``serve_throughput``      extra — serving layer: micro-batched vs solo launches
 ``chaos_serve``           extra — serving goodput under injected faults
+``paging_scan``           extra — keyset-cursor resume vs prefix rescan
 ========================  =====================================================
 """
 
@@ -43,6 +44,7 @@ from repro.bench.experiments import (  # noqa: F401
     fig16_skew,
     fig17_range,
     fig18_hardware,
+    paging_scan,
     serve_throughput,
     table03_range_origin,
     table04_updates,
@@ -73,6 +75,7 @@ ALL_EXPERIMENTS = {
     "ablation": ablation_builders,
     "serve": serve_throughput,
     "chaos": chaos_serve,
+    "paging": paging_scan,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

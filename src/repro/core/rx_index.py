@@ -36,6 +36,7 @@ from repro.core.config import (
     RXConfig,
     UpdatePolicy,
 )
+from repro.core.cursor import make_cursor_filter, next_cursor_token, parse_cursor
 from repro.core.keycodec import make_codec
 from repro.core.results import (
     aggregate_values,
@@ -322,8 +323,8 @@ class RXIndex(GpuIndex):
         return limit
 
     def range_lookup(
-        self, lowers: np.ndarray, uppers: np.ndarray, limit="auto"
-    ) -> LookupRun:
+        self, lowers: np.ndarray, uppers: np.ndarray, limit="auto", order=None, cursor=None
+    ):
         """Answer inclusive range lookups, optionally with limit pushdown.
 
         With an effective ``limit`` of ``k`` the traversal runs in
@@ -331,7 +332,25 @@ class RXIndex(GpuIndex):
         and stop traversing once it is spent, so the returned rows are
         exactly the first ``k`` the all-hits trace would report (a stable
         top-k cut) at a fraction of the traversal work.
+
+        ``order="key"`` switches to the ordered paged form (one range per
+        call): the traversal runs in ``ordered_k`` mode so the page holds
+        exactly the ``limit`` smallest ``(key, rowID)`` matches, and the
+        call returns ``(run, next_cursor)`` where ``run.row_ids`` is the
+        page in key order and ``next_cursor`` is an opaque ``"key|row_id"``
+        token (``None`` once the range is exhausted).  Passing the token
+        back as ``cursor`` resumes just past that row: the ray is rebuilt
+        from the cursor key (O(page) work instead of re-scanning the
+        prefix) and an exclusive any-hit filter drops the rows of a
+        duplicate-key run the previous page already returned *before* they
+        can consume budget.
         """
+        if order is not None:
+            if order != "key":
+                raise ValueError(f"order must be None or 'key', got {order!r}")
+            return self._ordered_range_page(lowers, uppers, limit, cursor)
+        if cursor is not None:
+            raise ValueError("cursor resume requires order='key'")
         pipeline = self._require_built()
         lowers = np.asarray(lowers, dtype=np.uint64)
         uppers = np.asarray(uppers, dtype=np.uint64)
@@ -353,6 +372,47 @@ class RXIndex(GpuIndex):
         if limit is not None:
             run.stats["range_limit"] = limit
         return run
+
+    def _ordered_range_page(self, lowers, uppers, limit, cursor):
+        """One page of an ordered range scan: ``(run, next_cursor)``."""
+        pipeline = self._require_built()
+        lowers = np.asarray(lowers, dtype=np.uint64).reshape(-1)
+        uppers = np.asarray(uppers, dtype=np.uint64).reshape(-1)
+        if lowers.shape[0] != 1 or uppers.shape[0] != 1:
+            raise ValueError(
+                "order='key' pages one range at a time; batch paged lookups "
+                "through the serving layer"
+            )
+        limit = self._range_limit(limit)
+        if limit is None:
+            raise ValueError("order='key' requires a page size (limit)")
+        lower = int(lowers[0])
+        upper = int(uppers[0])
+        if upper < lower:
+            raise ValueError("range lookups require upper >= lower")
+        cur = parse_cursor(cursor)
+        # Resume *at* the cursor key (duplicates may straddle the page
+        # boundary); the exclusive filter below rejects the already-paid
+        # rows of that key.  Clamping to the upper bound keeps the ray
+        # batch well-formed when the cursor ran past the range.
+        resume_lower = lower if cur is None else min(max(lower, cur.key), upper)
+        rays = self.codec.range_ray_batch(
+            np.array([resume_lower], dtype=np.uint64),
+            uppers,
+            self.config.range_ray_mode,
+            max_rays_per_range=self.config.max_rays_per_range,
+        )
+        any_hit = make_cursor_filter(self.keys, [cur], base_any_hit=pipeline.any_hit)
+        launch = pipeline.launch(
+            rays, num_lookups=1, mode="ordered_k", limit=limit, any_hit=any_hit
+        )
+        run = self._run_to_lookup(launch, 1, kind="range")
+        page_rows = launch.hits.prim_indices
+        run.row_ids = page_rows.astype(np.uint64)
+        run.stats["trace_mode"] = "ordered_k"
+        run.stats["range_limit"] = limit
+        run.stats["resumed"] = cur is not None
+        return run, next_cursor_token(self.keys, page_rows, limit)
 
     def collect_point_matches(self, queries: np.ndarray) -> list[np.ndarray]:
         """Materialise all matching rowIDs per query (example/demo helper)."""

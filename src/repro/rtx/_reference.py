@@ -15,10 +15,17 @@ equivalence and performance claims stay checkable as the engine evolves.
 
 from __future__ import annotations
 
+import bisect
+
 import numpy as np
 
 from repro.rtx.bvh import Bvh, BvhBuildOptions
-from repro.rtx.geometry import PrimitiveBuffer, RayBatch, ray_box_overlap_pairs
+from repro.rtx.geometry import (
+    PrimitiveBuffer,
+    RayBatch,
+    ray_box_overlap_pairs,
+    ray_box_overlap_pairs_with_entry,
+)
 from repro.rtx.morton import morton_encode_3d
 from repro.rtx.traversal import HitRecords, TraversalCounters
 
@@ -652,6 +659,216 @@ def reference_first_k_trace(
         prim_test_bytes=prim_test_bytes,
         node_cull_respects_tmin=node_cull_respects_tmin,
     )
+
+
+def reference_ordered_k_trace(
+    bvh: Bvh,
+    primitives: PrimitiveBuffer,
+    rays: RayBatch,
+    limit: int,
+    any_hit=None,
+    prim_test_bytes: int | None = None,
+    node_cull_respects_tmin: bool = False,
+) -> tuple[HitRecords, TraversalCounters]:
+    """Golden ``mode="ordered_k"`` trace: per-lookup t-ordered top-k pools.
+
+    Every lookup keeps the ``limit`` candidates that sort smallest under the
+    lexicographic key ``(ray_index, hit_t, prim_index)`` — for codec-built
+    range rays that order is exactly ascending ``(key, row_id)``, so the
+    reported hits are the k smallest-key matches with stable row_id
+    tie-breaking on duplicate keys.  Two pruning rules make the mode cheaper
+    than an all-hits trace, both mirrored bit for bit by the engine:
+
+    * *slab-time cull* — a surviving (ray, node) pair whose box-entry ``t``
+      already sorts strictly after the lookup's current k-th best candidate
+      (using the bound frozen at the start of the round) cannot contribute,
+      and is dropped before the leaf/inner split;
+    * *rank cull* — after the round's leaf merges, inner pairs whose ray
+      index sorts after the (recomputed) bound's ray are dropped from the
+      next frontier, exactly like first_k's exhausted-budget compaction.
+
+    A candidate displaced from (or refused entry to) a full pool counts as a
+    ``budget_dropped_hits`` drop; the per-round totals are set-based, so they
+    are independent of the engine's chunk schedule.
+    """
+    limit = int(limit)
+    if limit < 1:
+        raise ValueError(f"limit must be at least 1, got {limit}")
+    counters = TraversalCounters()
+    counters.rays = len(rays)
+    node_bytes = bvh.node_bytes()
+    per_prim_bytes = (
+        prim_test_bytes
+        if prim_test_bytes is not None
+        else max(primitives.primitive_bytes() // max(len(primitives), 1), 1)
+    )
+
+    n_rays = len(rays)
+    owner_of_ray = np.asarray(rays.lookup_ids, dtype=np.int64)
+    #: per-lookup sorted candidate pools of (ray, t, prim) tuples
+    pools: dict[int, list[tuple[int, float, int]]] = {}
+    #: per-lookup (ray, t) of the k-th best candidate, once the pool is full;
+    #: refreshed after each round's leaf phase and frozen for the next
+    #: round's slab-time cull.
+    bounds: dict[int, tuple[int, float]] = {}
+
+    if n_rays > 0 and bvh.node_count > 0:
+        if node_cull_respects_tmin:
+            node_tmin = rays.tmin
+        else:
+            node_tmin = np.minimum(rays.tmin, np.float32(0.0))
+        frontier_rays = np.arange(n_rays, dtype=np.int64)
+        frontier_nodes = np.zeros(n_rays, dtype=np.int64)
+        while frontier_rays.size:
+            counters.traversal_rounds += 1
+            counters.max_frontier_size = max(
+                counters.max_frontier_size, int(frontier_rays.size)
+            )
+            counters.node_visits += int(frontier_rays.size)
+            counters.box_tests += int(frontier_rays.size)
+            counters.node_bytes_read += int(frontier_rays.size) * node_bytes
+
+            overlap, entry = ray_box_overlap_pairs_with_entry(
+                rays.origins[frontier_rays],
+                rays.directions[frontier_rays],
+                node_tmin[frontier_rays],
+                rays.tmax[frontier_rays],
+                bvh.node_mins[frontier_nodes],
+                bvh.node_maxs[frontier_nodes],
+            )
+            frontier_rays = frontier_rays[overlap]
+            frontier_nodes = frontier_nodes[overlap]
+            entry = entry[overlap]
+            if frontier_rays.size == 0:
+                break
+
+            # Slab-time cull with the bounds frozen at round start: a pair
+            # cannot beat its lookup's k-th candidate when its ray sorts
+            # after the bound's ray, or its box entry t sorts strictly after
+            # the bound's t on the bound's own ray (every hit inside the box
+            # has t >= entry).  Equality keeps the pair: a t-equal hit with a
+            # smaller prim index could still enter the pool.
+            alive = np.ones(frontier_rays.size, dtype=bool)
+            for i, (ray, lo_val) in enumerate(
+                zip(frontier_rays.tolist(), entry.tolist())
+            ):
+                bound = bounds.get(int(owner_of_ray[ray]))
+                if bound is not None and (
+                    ray > bound[0] or (ray == bound[0] and lo_val > bound[1])
+                ):
+                    alive[i] = False
+            frontier_rays = frontier_rays[alive]
+            frontier_nodes = frontier_nodes[alive]
+            if frontier_rays.size == 0:
+                break
+
+            is_leaf = bvh.left[frontier_nodes] < 0
+            leaf_rays = frontier_rays[is_leaf]
+            leaf_nodes = frontier_nodes[is_leaf]
+            counters.leaf_visits += int(leaf_rays.size)
+            if leaf_rays.size:
+                counts = bvh.prim_count[leaf_nodes]
+                firsts = bvh.first_prim[leaf_nodes]
+                total = int(counts.sum())
+                if total:
+                    pair_rays = np.repeat(leaf_rays, counts)
+                    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+                    within = np.arange(total, dtype=np.int64) - offsets
+                    slot = np.repeat(firsts, counts) + within
+                    pair_prims = bvh.prim_indices[slot]
+                    counters.prim_tests += int(pair_prims.size)
+                    counters.prim_bytes_read += int(pair_prims.size) * per_prim_bytes
+                    if primitives.hardware_intersection:
+                        counters.hardware_intersection_tests += int(pair_prims.size)
+                    else:
+                        counters.software_intersection_calls += int(pair_prims.size)
+                    mask = primitives.intersect_pairs(
+                        rays.origins[pair_rays],
+                        rays.directions[pair_rays],
+                        rays.tmin[pair_rays],
+                        rays.tmax[pair_rays],
+                        pair_prims,
+                    )
+                    cand_rays = pair_rays[mask]
+                    cand_prims = pair_prims[mask]
+                    if any_hit is not None and cand_rays.size:
+                        keep = np.asarray(
+                            any_hit(
+                                cand_rays, cand_prims, rays.lookup_ids[cand_rays]
+                            ),
+                            dtype=bool,
+                        )
+                        cand_rays = cand_rays[keep]
+                        cand_prims = cand_prims[keep]
+                    if cand_rays.size:
+                        cand_t = primitives.hit_t_pairs(
+                            rays.origins[cand_rays],
+                            rays.directions[cand_rays],
+                            rays.tmin[cand_rays],
+                            rays.tmax[cand_rays],
+                            cand_prims,
+                        )
+                        for ray, prim, t in zip(
+                            cand_rays.tolist(), cand_prims.tolist(), cand_t.tolist()
+                        ):
+                            pool = pools.setdefault(int(owner_of_ray[ray]), [])
+                            bisect.insort(pool, (ray, t, prim))
+                            if len(pool) > limit:
+                                pool.pop()
+                                counters.budget_dropped_hits += 1
+
+            # Refresh the bounds from the pools: they drive this round's rank
+            # cull of the inner pairs and freeze as next round's slab bounds.
+            bounds = {
+                lookup: (pool[limit - 1][0], pool[limit - 1][1])
+                for lookup, pool in pools.items()
+                if len(pool) == limit
+            }
+
+            inner_rays = frontier_rays[~is_leaf]
+            inner_nodes = frontier_nodes[~is_leaf]
+            if inner_rays.size:
+                alive = np.array(
+                    [
+                        bounds.get(int(owner_of_ray[ray]), (np.iinfo(np.int64).max,))[0]
+                        >= ray
+                        for ray in inner_rays.tolist()
+                    ],
+                    dtype=bool,
+                )
+                inner_rays = inner_rays[alive]
+                inner_nodes = inner_nodes[alive]
+            if inner_rays.size:
+                frontier_rays = np.concatenate([inner_rays, inner_rays])
+                frontier_nodes = np.concatenate(
+                    [bvh.left[inner_nodes], bvh.right[inner_nodes]]
+                )
+            else:
+                frontier_rays = np.zeros(0, dtype=np.int64)
+                frontier_nodes = np.zeros(0, dtype=np.int64)
+
+    hit_rays: list[int] = []
+    hit_prims: list[int] = []
+    for lookup in sorted(pools):
+        for ray, _t, prim in pools[lookup]:
+            hit_rays.append(ray)
+            hit_prims.append(prim)
+    ray_indices = np.asarray(hit_rays, dtype=np.int64)
+    prim_indices = np.asarray(hit_prims, dtype=np.int64)
+    lookup_ids = rays.lookup_ids[ray_indices] if ray_indices.size else ray_indices
+
+    counters.prim_hits = int(ray_indices.size)
+    rays_hit = np.unique(ray_indices).size
+    counters.rays_with_hits = int(rays_hit)
+    counters.rays_without_hits = int(n_rays - rays_hit)
+
+    hits = HitRecords(
+        ray_indices=ray_indices,
+        prim_indices=prim_indices,
+        lookup_ids=lookup_ids,
+        num_rays=n_rays,
+    )
+    return hits, counters
 
 
 # --------------------------------------------------------------------------- #

@@ -196,6 +196,21 @@ class PrimitiveBuffer:
         """One block of element-wise pair tests (``prim_indices`` already int64)."""
         raise NotImplementedError
 
+    def hit_t_pairs(
+        self, origins, directions, tmins, tmaxs, prim_indices
+    ) -> np.ndarray:
+        """Ray parameter ``t`` of each (ray, primitive) hit pair.
+
+        Only meaningful for pairs that :meth:`intersect_pairs` reported as
+        hits; the returned float64 ``t`` is the parameter of the reported
+        intersection (the *first* valid root for spheres, the slab entry for
+        AABBs).  The ordered top-k trace mode sorts candidate hits by this
+        value, and both the vectorised engine and the golden reference loop
+        call this one implementation, so their ordering keys are bit-identical
+        by construction.
+        """
+        raise NotImplementedError
+
 
 class TriangleBuffer(PrimitiveBuffer):
     """Triangles stored as an ``(n, 3, 3)`` float32 vertex array."""
@@ -303,6 +318,39 @@ class TriangleBuffer(PrimitiveBuffer):
             & (t < tmaxs)
         )
 
+    def hit_t_pairs(
+        self, origins, directions, tmins, tmaxs, prim_indices
+    ) -> np.ndarray:
+        """Möller–Trumbore ``t`` of each hit pair — the same component
+        expressions (and evaluation order) as the mask computation in
+        :meth:`_intersect_pairs_block`, so the ``t`` that made a hit pass
+        ``t > tmin`` is exactly the ``t`` reported here."""
+        v0x, v0y, v0z, e1x, e1y, e1z, e2x, e2y, e2z = self.intersection_pack()
+        o = np.asarray(origins, dtype=np.float64)
+        d = np.asarray(directions, dtype=np.float64)
+        g = np.asarray(prim_indices, dtype=np.int64)
+        if g.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        ox, oy, oz = o[:, 0], o[:, 1], o[:, 2]
+        dx, dy, dz = d[:, 0], d[:, 1], d[:, 2]
+        e1xg, e1yg, e1zg = e1x[g], e1y[g], e1z[g]
+        e2xg, e2yg, e2zg = e2x[g], e2y[g], e2z[g]
+        px = dy * e2zg - dz * e2yg
+        py = dz * e2xg - dx * e2zg
+        pz = dx * e2yg - dy * e2xg
+        det = e1xg * px + e1yg * py + e1zg * pz
+        eps = 1e-12
+        parallel = np.abs(det) < eps
+        safe_det = np.where(parallel, 1.0, det)
+        inv_det = 1.0 / safe_det
+        tvx = ox - v0x[g]
+        tvy = oy - v0y[g]
+        tvz = oz - v0z[g]
+        qx = tvy * e1zg - tvz * e1yg
+        qy = tvz * e1xg - tvx * e1zg
+        qz = tvx * e1yg - tvy * e1xg
+        return (e2xg * qx + e2yg * qy + e2zg * qz) * inv_det
+
 
 class SphereBuffer(PrimitiveBuffer):
     """Spheres stored as ``(n, 3)`` float32 centres plus a shared radius.
@@ -401,6 +449,43 @@ class SphereBuffer(PrimitiveBuffer):
         hit1 = valid & (t1 > tmins) & (t1 < tmaxs)
         return hit0 | hit1
 
+    def hit_t_pairs(
+        self, origins, directions, tmins, tmaxs, prim_indices
+    ) -> np.ndarray:
+        """The ``t`` the sphere test reported: the near root when it lies in
+        ``(tmin, tmax)``, otherwise the far root (the ray starts inside the
+        sphere).  Full three-axis evaluation — the per-axis skip in
+        :meth:`_intersect_pairs_block` only ever adds signed zeros, so the
+        roots agree bitwise."""
+        pack = self.intersection_pack()
+        o = np.asarray(origins, dtype=np.float64)
+        d = np.asarray(directions, dtype=np.float64)
+        tmins = np.asarray(tmins, dtype=np.float64)
+        tmaxs = np.asarray(tmaxs, dtype=np.float64)
+        g = np.asarray(prim_indices, dtype=np.int64)
+        if g.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        r = float(self.radius)
+        a = np.zeros(g.shape[0])
+        b = np.zeros(g.shape[0])
+        cterm = np.zeros(g.shape[0])
+        for axis in range(3):
+            oc = o[:, axis] - pack[axis][g]
+            da = d[:, axis]
+            a += da * da
+            b += oc * da
+            cterm += oc * oc
+        cterm = cterm - r * r
+        b = 2.0 * b
+        disc = b * b - 4.0 * a * cterm
+        valid = (disc >= 0.0) & (a > 0.0)
+        sqrt_disc = np.sqrt(np.where(valid, disc, 0.0))
+        safe_a = np.where(a > 0.0, a, 1.0)
+        t0 = (-b - sqrt_disc) / (2.0 * safe_a)
+        t1 = (-b + sqrt_disc) / (2.0 * safe_a)
+        hit0 = valid & (t0 > tmins) & (t0 < tmaxs)
+        return np.where(hit0, t0, t1)
+
 
 class AabbBuffer(PrimitiveBuffer):
     """Axis-aligned bounding boxes with a software intersection program.
@@ -472,6 +557,26 @@ class AabbBuffer(PrimitiveBuffer):
             )
         return ok & (lo <= hi)
 
+    def hit_t_pairs(
+        self, origins, directions, tmins, tmaxs, prim_indices
+    ) -> np.ndarray:
+        """The slab-entry ``t`` of each hit pair: ``lo`` after the three-axis
+        slab test, which is ``tmin`` when the ray starts inside the box."""
+        pack = self.intersection_pack()
+        o = np.asarray(origins, dtype=np.float64)
+        d = np.asarray(directions, dtype=np.float64)
+        lo = np.asarray(tmins, dtype=np.float64).copy()
+        hi = np.asarray(tmaxs, dtype=np.float64).copy()
+        g = np.asarray(prim_indices, dtype=np.int64)
+        if g.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        ok = np.ones(g.shape[0], dtype=bool)
+        for axis in range(3):
+            lo, hi, ok = _slab_test_axis(
+                d[:, axis], o[:, axis], pack[axis][g], pack[axis + 3][g], lo, hi, ok
+            )
+        return lo
+
 
 def _slab_test_axis(da, oa, bmin, bmax, lo, hi, ok):
     """One axis of the element-wise slab test; returns updated (lo, hi, ok).
@@ -497,14 +602,16 @@ def _slab_test_axis(da, oa, bmin, bmax, lo, hi, ok):
     return lo, hi, ok
 
 
-def ray_box_overlap_pairs(
+def ray_box_overlap_pairs_with_entry(
     origins, directions, tmins, tmaxs, box_mins, box_maxs
-) -> np.ndarray:
-    """Element-wise slab test: does ray ``i`` overlap box ``i``?
+) -> tuple[np.ndarray, np.ndarray]:
+    """Element-wise slab test returning ``(overlap_mask, entry_t)``.
 
-    All arguments are arrays over the same pair index; returns a boolean mask.
-    The test is performed in float64 for numerical robustness (see
-    :func:`_slab_test_axis` for the per-axis rules).
+    ``entry_t`` is the per-pair ``lo`` after all three axes: the parameter at
+    which the ray enters the box (``tmin`` when the origin is already
+    inside).  Only meaningful where the mask is True.  The ordered top-k
+    trace uses it to cull nodes whose earliest possible hit already sorts
+    after a lookup's current k-th best candidate.
     """
     o = np.asarray(origins, dtype=np.float64).reshape(-1, 3)
     d = np.asarray(directions, dtype=np.float64).reshape(-1, 3)
@@ -517,7 +624,21 @@ def ray_box_overlap_pairs(
         lo, hi, ok = _slab_test_axis(
             d[:, axis], o[:, axis], mins[:, axis], maxs[:, axis], lo, hi, ok
         )
-    return ok & (lo <= hi)
+    return ok & (lo <= hi), lo
+
+
+def ray_box_overlap_pairs(
+    origins, directions, tmins, tmaxs, box_mins, box_maxs
+) -> np.ndarray:
+    """Element-wise slab test: does ray ``i`` overlap box ``i``?
+
+    All arguments are arrays over the same pair index; returns a boolean mask.
+    The test is performed in float64 for numerical robustness (see
+    :func:`_slab_test_axis` for the per-axis rules).
+    """
+    return ray_box_overlap_pairs_with_entry(
+        origins, directions, tmins, tmaxs, box_mins, box_maxs
+    )[0]
 
 
 def ray_box_overlap(origin, direction, tmin, tmax, box_mins, box_maxs) -> np.ndarray:

@@ -311,6 +311,7 @@ class Pipeline:
         mode: str = "all",
         limit: int | None = None,
         ray_groups: np.ndarray | None = None,
+        any_hit: Callable | None = None,
         **raygen_params,
     ) -> LaunchResult:
         """Launch the pipeline for a batch of rays.
@@ -321,10 +322,13 @@ class Pipeline:
         :meth:`repro.rtx.traversal.TraversalEngine.trace`): ``"all"`` reports
         every intersection, ``"any_hit"`` terminates each ray at its first
         surviving hit, ``"first_k"`` stops each lookup after ``limit``
-        surviving hits (``limit`` is required for, and only valid with, that
-        mode).  ``ray_groups`` (one group id per ray) additionally splits the
-        launch's counters per group — see
-        :meth:`repro.rtx.traversal.TraversalEngine.trace`.
+        surviving hits, ``"ordered_k"`` keeps each lookup's ``limit``
+        t-smallest hits in key order (``limit`` is required for, and only
+        valid with, the two budgeted modes).  ``ray_groups`` (one group id
+        per ray) additionally splits the launch's counters per group — see
+        :meth:`repro.rtx.traversal.TraversalEngine.trace`.  ``any_hit``
+        overrides the pipeline-level any-hit program for this launch only
+        (cursor resumes install a per-launch exclusive filter this way).
         """
         if self.fault_injector is not None:
             self.fault_injector.check("launch")
@@ -339,7 +343,11 @@ class Pipeline:
             num_lookups = int(rays.lookup_ids.max()) + 1 if len(rays) else 0
         self._engine.reset_counters()
         hits = self._engine.trace(
-            rays, any_hit=self.any_hit, mode=mode, limit=limit, ray_groups=ray_groups
+            rays,
+            any_hit=any_hit if any_hit is not None else self.any_hit,
+            mode=mode,
+            limit=limit,
+            ray_groups=ray_groups,
         )
         counters = self._engine.counters
         return LaunchResult(

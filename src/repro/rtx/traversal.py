@@ -18,16 +18,20 @@ and ``max_frontier_size``, which count the *logical* frontier) are
 bit-identical with the reference loop in :mod:`repro.rtx._reference` for any
 ``max_frontier`` setting.
 
-``trace`` supports three reporting modes: the default reports every
+``trace`` supports four reporting modes: the default reports every
 intersection of every ray; ``mode="any_hit"`` models the hardware any-hit
 program terminating the ray — each ray records exactly its first surviving
 hit; ``mode="first_k"`` is the limit-pushdown variant for bounded range
 lookups — every lookup carries a remaining-hit budget of ``limit`` shared by
 all of its rays, and a ray stops traversing once its lookup's budget is
-exhausted.  Both early-exit modes compact finished rays out of the frontier
-(the budget mask is fused into the leaf/inner split so no separate
-compaction gather runs), with the counters reflecting only the work
-actually executed.
+exhausted; ``mode="ordered_k"`` is the ordered top-k variant — every lookup
+keeps the ``limit`` hits sorting smallest under ``(ray, hit_t, prim)``
+(ascending ``(key, row_id)`` for codec-built range rays), with frontier
+pairs that cannot beat the lookup's current k-th candidate culled against
+their box-entry ``t``.  All non-default modes compact finished rays out of
+the frontier (the budget/rank mask is fused into the leaf/inner split so no
+separate compaction gather runs), with the counters reflecting only the
+work actually executed.
 """
 
 from __future__ import annotations
@@ -173,6 +177,104 @@ def _cut_to_budget(owners: np.ndarray, budget: np.ndarray) -> tuple[np.ndarray, 
     return keep, bool((budget[unique_owners] == 0).any())
 
 
+class _OrderedKState:
+    """Per-lookup t-ordered top-k candidate pools for ``mode="ordered_k"``.
+
+    Each lookup keeps the ``k`` candidates that sort smallest under the
+    lexicographic key ``(ray_index, hit_t, prim_index)``.  The pool arrays
+    are maintained globally sorted by ``(lookup, ray, t, prim)``, so the
+    final hit records fall out of them directly and the per-lookup bound
+    (the k-th best candidate of a full pool) is one gather away.  Merging a
+    candidate chunk is a single lexsort plus the same rank-within-group
+    technique as :func:`_cut_to_budget` — set-based, so the surviving pool
+    and the total number of displaced candidates are independent of how the
+    round's candidates were chunked, matching the sequential insertion loop
+    of the golden reference exactly.
+    """
+
+    def __init__(self, num_lookups: int, k: int, owners: np.ndarray):
+        self.k = int(k)
+        self.owners = owners
+        self.lookups = np.zeros(0, dtype=np.int64)
+        self.rays = np.zeros(0, dtype=np.int64)
+        self.ts = np.zeros(0, dtype=np.float64)
+        self.prims = np.zeros(0, dtype=np.int64)
+        #: per-lookup bound state, valid after :meth:`refresh_bounds`
+        self.full = np.zeros(num_lookups, dtype=bool)
+        self.bound_ray = np.zeros(num_lookups, dtype=np.int64)
+        self.bound_t = np.zeros(num_lookups, dtype=np.float64)
+
+    def merge(
+        self, cand_rays: np.ndarray, cand_t: np.ndarray, cand_prims: np.ndarray
+    ) -> np.ndarray:
+        """Fold one candidate chunk into the pools; returns the rays of the
+        displaced entries (candidates that missed plus pool entries they
+        evicted) for drop accounting."""
+        all_l = np.concatenate([self.lookups, self.owners[cand_rays]])
+        all_r = np.concatenate([self.rays, cand_rays])
+        all_t = np.concatenate([self.ts, cand_t])
+        all_p = np.concatenate([self.prims, cand_prims])
+        order = np.lexsort((all_p, all_t, all_r, all_l))
+        sorted_l = all_l[order]
+        is_first = np.empty(sorted_l.shape[0], dtype=bool)
+        is_first[0] = True
+        np.not_equal(sorted_l[1:], sorted_l[:-1], out=is_first[1:])
+        group_starts = np.flatnonzero(is_first)
+        counts = np.diff(np.append(group_starts, sorted_l.shape[0]))
+        ranks = np.arange(sorted_l.shape[0], dtype=np.int64) - np.repeat(
+            group_starts, counts
+        )
+        keep = ranks < self.k
+        kept = order[keep]
+        self.lookups = sorted_l[keep]
+        self.rays = all_r[kept]
+        self.ts = all_t[kept]
+        self.prims = all_p[kept]
+        return all_r[order[~keep]]
+
+    def refresh_bounds(self) -> None:
+        """Recompute each full pool's k-th best (ray, t) bound."""
+        self.full[:] = False
+        if self.lookups.size == 0:
+            return
+        is_first = np.empty(self.lookups.shape[0], dtype=bool)
+        is_first[0] = True
+        np.not_equal(self.lookups[1:], self.lookups[:-1], out=is_first[1:])
+        group_starts = np.flatnonzero(is_first)
+        counts = np.diff(np.append(group_starts, self.lookups.shape[0]))
+        full_groups = counts == self.k
+        if not full_groups.any():
+            return
+        bound_idx = group_starts[full_groups] + self.k - 1
+        full_lookups = self.lookups[group_starts[full_groups]]
+        self.full[full_lookups] = True
+        self.bound_ray[full_lookups] = self.rays[bound_idx]
+        self.bound_t[full_lookups] = self.ts[bound_idx]
+
+    def slab_keep_mask(self, pair_rays: np.ndarray, entry_t: np.ndarray) -> np.ndarray:
+        """Keep-mask over frontier pairs against the frozen round-start
+        bounds: a pair is hopeless when its ray sorts after the bound's ray,
+        or its box-entry t sorts strictly after the bound's t on the bound's
+        own ray (every hit inside the box has ``t >= entry``).  Equality
+        keeps the pair — a t-equal hit with a smaller prim index could still
+        enter the pool."""
+        own = self.owners[pair_rays]
+        bound_ray = self.bound_ray[own]
+        cull = self.full[own] & (
+            (pair_rays > bound_ray)
+            | ((pair_rays == bound_ray) & (entry_t > self.bound_t[own]))
+        )
+        return ~cull
+
+    def rank_keep_mask(self, pair_rays: np.ndarray) -> np.ndarray:
+        """Keep-mask for the inner-pair compaction: after the round's merges,
+        rays sorting after their lookup's bound ray can no longer contribute
+        (their t is unknown here; the child's own slab cull handles it next
+        round)."""
+        own = self.owners[pair_rays]
+        return ~(self.full[own] & (pair_rays > self.bound_ray[own]))
+
+
 def _frontier_box_overlap(
     origins32: np.ndarray,
     directions32: np.ndarray,
@@ -182,7 +284,8 @@ def _frontier_box_overlap(
     node_maxs32: np.ndarray,
     frontier_rays: np.ndarray,
     frontier_nodes: np.ndarray,
-) -> np.ndarray:
+    return_entry: bool = False,
+):
     """Slab test of frontier (ray, node) pairs.
 
     Performs the same float64 arithmetic as
@@ -194,6 +297,11 @@ def _frontier_box_overlap(
     the remaining axis skips the parallel blends entirely.  Inputs arrive
     transposed (per-axis rows) so every per-pair gather is a contiguous 1D
     take.
+
+    With ``return_entry=True`` the per-pair box-entry ``t`` (``lo`` after all
+    axes — parallel axes leave it untouched, exactly like the reference's
+    blend) is returned alongside the mask; the ordered top-k mode culls
+    against it.
     """
     lo = node_tmin32[frontier_rays].astype(np.float64)
     hi = tmax32[frontier_rays].astype(np.float64)
@@ -240,6 +348,8 @@ def _frontier_box_overlap(
     result = lo <= hi
     if ok is not None:
         result &= ok
+    if return_entry:
+        return result, lo
     return result
 
 
@@ -396,13 +506,23 @@ class TraversalEngine:
           terminates.  The reported hits per lookup equal the first
           ``limit`` surviving hits the default mode would report for it (a
           stable top-k cut of the all-hits stream).
+        * ``"ordered_k"`` — ordered top-k traversal: every lookup keeps the
+          ``limit`` surviving hits that sort smallest under the
+          lexicographic key ``(ray_index, hit_t, prim_index)``, reported in
+          that order (not traversal-stream order).  For codec-built range
+          rays this is exactly ascending ``(key, row_id)``, i.e. a true
+          ``ORDER BY key LIMIT k``.  Nodes whose box-entry ``t`` (and rays
+          whose index) sort after a lookup's current k-th best candidate
+          are culled from the frontier, so unbalanced trees prune like a
+          per-ray ordered traversal would.
 
-        In both early-exit modes finished rays are compacted out of the
-        frontier between rounds, so the counters reflect only the traversal
-        work actually executed, and the ``any_hit`` filter is applied
-        eagerly per leaf chunk — it must be elementwise (decide each hit on
-        its own), exactly like a real any-hit program.  ``limit`` is only
-        meaningful with ``mode="first_k"``.
+        In the early-exit and ordered modes finished rays are compacted out
+        of the frontier between rounds, so the counters reflect only the
+        traversal work actually executed, and the ``any_hit`` filter is
+        applied eagerly per leaf chunk — it must be elementwise (decide
+        each hit on its own), exactly like a real any-hit program.
+        ``limit`` is only meaningful with ``mode="first_k"`` and
+        ``mode="ordered_k"``.
 
         ``ray_groups`` optionally assigns every ray to a demux group (an
         int array of group ids, one per ray).  After the trace,
@@ -413,19 +533,24 @@ class TraversalEngine:
         must belong to one group).  Grouping does not change the traversal
         or the global counters in any way.
         """
-        if mode not in ("all", "any_hit", "first_k"):
+        if mode not in ("all", "any_hit", "first_k", "ordered_k"):
             raise ValueError(
-                f"unknown trace mode {mode!r}; use 'all', 'any_hit' or 'first_k'"
+                f"unknown trace mode {mode!r}; use 'all', 'any_hit', 'first_k' "
+                "or 'ordered_k'"
             )
-        if mode == "first_k":
+        if mode in ("first_k", "ordered_k"):
             if limit is None:
-                raise ValueError("mode='first_k' requires a hit limit")
+                raise ValueError(f"mode={mode!r} requires a hit limit")
             limit = int(limit)
             if limit < 1:
                 raise ValueError(f"limit must be at least 1, got {limit}")
         elif limit is not None:
-            raise ValueError(f"limit is only meaningful with mode='first_k', not {mode!r}")
-        early_exit = mode != "all"
+            raise ValueError(
+                f"limit is only meaningful with mode 'first_k' or 'ordered_k', "
+                f"not {mode!r}"
+            )
+        ordered = mode == "ordered_k"
+        early_exit = mode in ("any_hit", "first_k")
         self.group_counters = None
         recorder: _GroupCounterRecorder | None = None
         if ray_groups is not None:
@@ -459,12 +584,17 @@ class TraversalEngine:
         # the lookup's limit).
         owners: np.ndarray | None = None
         budget: np.ndarray | None = None
+        pool: _OrderedKState | None = None
         if early_exit and n_rays:
             if mode == "any_hit":
                 budget = np.ones(n_rays, dtype=np.int64)
             else:
                 owners = rays.lookup_ids
                 budget = np.full(int(owners.max()) + 1, limit, dtype=np.int64)
+        elif ordered and n_rays:
+            pool = _OrderedKState(
+                int(rays.lookup_ids.max()) + 1, limit, rays.lookup_ids
+            )
 
         if n_rays > 0 and bvh.node_count > 0:
             if self.node_cull_respects_tmin:
@@ -506,25 +636,57 @@ class TraversalEngine:
                 if recorder is not None:
                     recorder.on_round(frontier_rays)
 
+                entry: np.ndarray | None = None
                 if chunk is None or fsize <= chunk:
-                    overlap = _frontier_box_overlap(
-                        origins_t, directions_t, node_tmin, t_hi,
-                        mins_t, maxs_t, frontier_rays, frontier_nodes,
-                    )
+                    if ordered:
+                        overlap, entry = _frontier_box_overlap(
+                            origins_t, directions_t, node_tmin, t_hi,
+                            mins_t, maxs_t, frontier_rays, frontier_nodes,
+                            return_entry=True,
+                        )
+                    else:
+                        overlap = _frontier_box_overlap(
+                            origins_t, directions_t, node_tmin, t_hi,
+                            mins_t, maxs_t, frontier_rays, frontier_nodes,
+                        )
                 else:
                     overlap = np.empty(fsize, dtype=bool)
+                    if ordered:
+                        entry = np.empty(fsize, dtype=np.float64)
                     for lo_idx in range(0, fsize, chunk):
                         hi_idx = min(lo_idx + chunk, fsize)
-                        overlap[lo_idx:hi_idx] = _frontier_box_overlap(
-                            origins_t, directions_t, node_tmin, t_hi,
-                            mins_t, maxs_t,
-                            frontier_rays[lo_idx:hi_idx],
-                            frontier_nodes[lo_idx:hi_idx],
-                        )
+                        if ordered:
+                            overlap[lo_idx:hi_idx], entry[lo_idx:hi_idx] = (
+                                _frontier_box_overlap(
+                                    origins_t, directions_t, node_tmin, t_hi,
+                                    mins_t, maxs_t,
+                                    frontier_rays[lo_idx:hi_idx],
+                                    frontier_nodes[lo_idx:hi_idx],
+                                    return_entry=True,
+                                )
+                            )
+                        else:
+                            overlap[lo_idx:hi_idx] = _frontier_box_overlap(
+                                origins_t, directions_t, node_tmin, t_hi,
+                                mins_t, maxs_t,
+                                frontier_rays[lo_idx:hi_idx],
+                                frontier_nodes[lo_idx:hi_idx],
+                            )
                 frontier_rays = frontier_rays[overlap]
                 frontier_nodes = frontier_nodes[overlap]
                 if frontier_rays.size == 0:
                     break
+                if pool is not None:
+                    # Ordered cull against the bounds frozen at round start
+                    # (the previous round's refresh): pairs that cannot beat
+                    # their lookup's k-th candidate drop out before the
+                    # leaf/inner split, so neither their primitive tests nor
+                    # their children happen.
+                    keep = pool.slab_keep_mask(frontier_rays, entry[overlap])
+                    frontier_rays = frontier_rays[keep]
+                    frontier_nodes = frontier_nodes[keep]
+                    if frontier_rays.size == 0:
+                        break
 
                 is_leaf = left[frontier_nodes] < 0
                 leaf_rays = frontier_rays[is_leaf]
@@ -560,9 +722,10 @@ class TraversalEngine:
                         )
                         sub_hit_rays = sub_rays[mask]
                         sub_hit_prims = sub_prims[mask]
-                        if early_exit:
+                        if early_exit or ordered:
                             # Run the any-hit program on each intersection as
-                            # it is found; only surviving hits consume budget.
+                            # it is found; only surviving hits consume budget
+                            # (or compete for a pool slot).
                             if any_hit is not None and sub_hit_rays.size:
                                 keep = np.asarray(
                                     any_hit(
@@ -574,22 +737,41 @@ class TraversalEngine:
                                 )
                                 sub_hit_rays = sub_hit_rays[keep]
                                 sub_hit_prims = sub_hit_prims[keep]
+                        if pool is not None:
+                            # Ordered mode: candidates are merged into their
+                            # lookup's top-k pool instead of the hit stream;
+                            # displaced entries count as budget drops.
                             if sub_hit_rays.size:
-                                own = (
-                                    sub_hit_rays
-                                    if owners is None
-                                    else owners[sub_hit_rays]
+                                cand_t = self.primitives.hit_t_pairs(
+                                    origins[sub_hit_rays],
+                                    directions[sub_hit_rays],
+                                    prim_lo[sub_hit_rays],
+                                    t_hi[sub_hit_rays],
+                                    sub_hit_prims,
                                 )
-                                keep, exhausted = _cut_to_budget(own, budget)
-                                counters.budget_dropped_hits += int(
-                                    own.shape[0] - np.count_nonzero(keep)
+                                dropped = pool.merge(
+                                    sub_hit_rays, cand_t, sub_hit_prims
                                 )
+                                counters.budget_dropped_hits += int(dropped.size)
                                 if recorder is not None:
-                                    recorder.on_budget_drops(sub_hit_rays[~keep])
-                                sub_hit_rays = sub_hit_rays[keep]
-                                sub_hit_prims = sub_hit_prims[keep]
-                                if exhausted:
-                                    terminated_this_round = True
+                                    recorder.on_budget_drops(dropped)
+                            continue
+                        if early_exit and sub_hit_rays.size:
+                            own = (
+                                sub_hit_rays
+                                if owners is None
+                                else owners[sub_hit_rays]
+                            )
+                            keep, exhausted = _cut_to_budget(own, budget)
+                            counters.budget_dropped_hits += int(
+                                own.shape[0] - np.count_nonzero(keep)
+                            )
+                            if recorder is not None:
+                                recorder.on_budget_drops(sub_hit_rays[~keep])
+                            sub_hit_rays = sub_hit_rays[keep]
+                            sub_hit_prims = sub_hit_prims[keep]
+                            if exhausted:
+                                terminated_this_round = True
                         hit_rays.append(sub_hit_rays)
                         hit_prims.append(sub_hit_prims)
 
@@ -607,6 +789,13 @@ class TraversalEngine:
                         frontier_rays if owners is None else owners[frontier_rays]
                     )
                     inner_mask &= budget[own_frontier] > 0
+                if pool is not None:
+                    # Re-derive the bounds from the pools the round's merges
+                    # just updated; they compact hopeless rays out of the
+                    # inner frontier now and freeze as the next round's
+                    # slab-cull bounds.
+                    pool.refresh_bounds()
+                    inner_mask &= pool.rank_keep_mask(frontier_rays)
                 inner_rays = frontier_rays[inner_mask]
                 inner_nodes = frontier_nodes[inner_mask]
                 n_inner = int(inner_rays.size)
@@ -626,7 +815,12 @@ class TraversalEngine:
                     frontier_rays = np.zeros(0, dtype=np.int64)
                     frontier_nodes = np.zeros(0, dtype=np.int64)
 
-        if hit_rays:
+        if pool is not None:
+            # The pools are maintained sorted by (lookup, ray, t, prim), so
+            # they already are the ordered hit stream.
+            ray_indices = pool.rays
+            prim_indices = pool.prims
+        elif hit_rays:
             ray_indices = np.concatenate(hit_rays)
             prim_indices = np.concatenate(hit_prims)
         else:
@@ -634,7 +828,7 @@ class TraversalEngine:
             prim_indices = np.zeros(0, dtype=np.int64)
 
         lookup_ids = rays.lookup_ids[ray_indices] if ray_indices.size else ray_indices
-        if not early_exit and any_hit is not None and ray_indices.size:
+        if mode == "all" and any_hit is not None and ray_indices.size:
             keep = np.asarray(any_hit(ray_indices, prim_indices, lookup_ids), dtype=bool)
             ray_indices = ray_indices[keep]
             prim_indices = prim_indices[keep]

@@ -53,7 +53,9 @@ class RequestFailure:
     kind: str
     #: why it failed: "rejected" (queue full), "rejected_deadline"
     #: (infeasible deadline at submit), "timeout" (deadline expired before
-    #: or after service), "launch_failed" (retries exhausted)
+    #: or after service), "launch_failed" (retries exhausted),
+    #: "epoch_retired" (a cursor-resumed page pinned an epoch the index has
+    #: since moved past — the client must restart the scan)
     reason: str
     arrival: float = 0.0
     completion: float = 0.0
@@ -152,6 +154,8 @@ class ServeStats:
     launch_failures: int = 0
     #: flushes served with the cache bypassed after a cache fault
     degraded_flushes: int = 0
+    #: paged requests failed because their pinned epoch was superseded
+    rejections_epoch: int = 0
     cache_corruptions_detected: int = 0
     updates_failed: int = 0
     updates_rolled_back: int = 0
@@ -168,6 +172,7 @@ class ServeStats:
             "retries": self.retries,
             "launch_failures": self.launch_failures,
             "degraded_flushes": self.degraded_flushes,
+            "rejections_epoch": self.rejections_epoch,
             "cache_corruptions_detected": self.cache_corruptions_detected,
             "updates_failed": self.updates_failed,
             "updates_rolled_back": self.updates_rolled_back,

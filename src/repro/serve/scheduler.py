@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.cursor import make_cursor_filter, next_cursor_token, parse_cursor
 from repro.core.results import (
     aggregate_values,
     first_row_per_lookup,
@@ -47,11 +48,16 @@ from repro.serve.resilience import LaunchExhausted, RequestFailure, RetryPolicy
 
 @dataclass(frozen=True)
 class LaunchClass:
-    """What must match for two requests to share one coalesced launch."""
+    """What must match for two requests to share one coalesced launch.
+
+    Cursor-paged requests all land in the ``("range", "ordered_k", k)``
+    class regardless of their individual cursors: the resume filter is
+    per-lookup, so pages of different scans still coalesce into one launch.
+    """
 
     kind: str  #: "point" or "range"
-    mode: str  #: trace mode: "all", "any_hit" or "first_k"
-    limit: int | None = None  #: per-lookup hit budget (first_k only)
+    mode: str  #: trace mode: "all", "any_hit", "first_k" or "ordered_k"
+    limit: int | None = None  #: per-lookup hit budget (budgeted modes only)
 
 
 @dataclass
@@ -68,11 +74,22 @@ class ServeRequest:
     #: absolute stream time by which the result must be delivered (None =
     #: no deadline); set by the service from the relative deadline knob
     deadline: float | None = None
+    #: ``"key"`` for an ordered paged range lookup (one range per request,
+    #: traced in ``ordered_k`` mode); ``None`` for plain lookups
+    order: str | None = None
+    #: keyset resume token (``"key|row_id"``) of the previous page; requires
+    #: ``order="key"``
+    cursor: str | None = None
+    #: accel epoch the paged scan started on: the request fails with
+    #: ``"epoch_retired"`` instead of serving against any other epoch
+    pin_epoch: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind == "point":
             if self.queries is None or self.queries.shape[0] == 0:
                 raise ValueError("a point request needs at least one query key")
+            if self.order is not None:
+                raise ValueError("order='key' only applies to range requests")
         elif self.kind == "range":
             if self.lowers is None or self.uppers is None:
                 raise ValueError("a range request needs lower and upper bounds")
@@ -80,8 +97,21 @@ class ServeRequest:
                 raise ValueError(
                     "range bounds must be equal-shaped and non-empty"
                 )
+            if self.order is not None:
+                if self.order != "key":
+                    raise ValueError(
+                        f"order must be None or 'key', got {self.order!r}"
+                    )
+                if self.limit is None:
+                    raise ValueError("order='key' requires a page size (limit)")
+                if self.lowers.shape[0] != 1:
+                    raise ValueError(
+                        "order='key' pages one range per request"
+                    )
         else:
             raise ValueError(f"unknown request kind {self.kind!r}")
+        if self.cursor is not None and self.order is None:
+            raise ValueError("cursor resume requires order='key'")
 
     @property
     def num_queries(self) -> int:
@@ -90,10 +120,25 @@ class ServeRequest:
         )
 
     def cache_payload(self) -> tuple:
-        """Hashable identity of the request's queries (the cache key body)."""
+        """Hashable identity of the request's queries (the cache key body).
+
+        Ordered paged requests include their cursor: each page of a scan is
+        its own cache entry, keyed by ``(epoch, class, range, cursor)`` —
+        so a resumed page can never be answered from another page's entry,
+        and an epoch advance orphans every page at once.
+        """
         if self.kind == "point":
             return ("point", self.queries.tobytes())
-        return ("range", self.lowers.tobytes(), self.uppers.tobytes(), self.limit)
+        if self.order is None:
+            return ("range", self.lowers.tobytes(), self.uppers.tobytes(), self.limit)
+        return (
+            "range",
+            self.lowers.tobytes(),
+            self.uppers.tobytes(),
+            self.limit,
+            self.order,
+            self.cursor,
+        )
 
 
 @dataclass
@@ -110,6 +155,12 @@ class RequestResult:
     arrival: float = 0.0  #: stream time the request arrived
     completion: float = 0.0  #: stream time the result was delivered
     deadline: float | None = None  #: absolute deadline carried from the request
+    #: ``"key"`` when the request was an ordered page (hits arrive in
+    #: ``(key, rowID)`` order); ``None`` otherwise
+    order: str | None = None
+    #: resume token for the next page of an ordered scan; ``None`` when the
+    #: range is exhausted (or the request was not paged)
+    next_cursor: str | None = None
 
     @property
     def latency(self) -> float:
@@ -291,6 +342,8 @@ class MicroBatchScheduler:
         """
         if request.kind == "point":
             return LaunchClass(kind="point", mode=snapshot.point_mode)
+        if request.order == "key":
+            return LaunchClass(kind="range", mode="ordered_k", limit=request.limit)
         if request.limit is None:
             return LaunchClass(kind="range", mode="all")
         return LaunchClass(kind="range", mode="first_k", limit=request.limit)
@@ -303,6 +356,8 @@ class MicroBatchScheduler:
         starts = np.concatenate([[0], np.cumsum(counts)])
         total = int(starts[-1])
 
+        any_hit = None
+        cursors: list = []
         if klass.kind == "point":
             queries = np.concatenate([r.queries for r in requests])
             rays = snapshot.codec.point_ray_batch(
@@ -311,6 +366,20 @@ class MicroBatchScheduler:
         else:
             lowers = np.concatenate([r.lowers for r in requests])
             uppers = np.concatenate([r.uppers for r in requests])
+            if klass.mode == "ordered_k":
+                # One lookup per paged request: resume each scan *at* its
+                # cursor key (duplicates may straddle the page boundary) and
+                # let the exclusive per-lookup filter drop the rows the
+                # previous page already paid out — before they can consume
+                # any of this page's budget.
+                cursors = [parse_cursor(r.cursor) for r in requests]
+                lowers = lowers.copy()
+                for i, cur in enumerate(cursors):
+                    if cur is not None:
+                        lowers[i] = min(max(int(lowers[i]), cur.key), int(uppers[i]))
+                any_hit = make_cursor_filter(
+                    snapshot.keys, cursors, base_any_hit=snapshot.pipeline.any_hit
+                )
             rays = snapshot.codec.range_ray_batch(
                 lowers,
                 uppers,
@@ -332,6 +401,7 @@ class MicroBatchScheduler:
                     mode=klass.mode,
                     limit=klass.limit,
                     ray_groups=ray_groups,
+                    any_hit=any_hit,
                 )
                 break
             except InjectedFault as fault:
@@ -374,6 +444,14 @@ class MicroBatchScheduler:
                 lookup_ids=hits.lookup_ids[sel] - starts[i],
                 num_rays=int(ray_ends[i] - ray_starts[i]),
             )
+            next_cursor = None
+            if klass.mode == "ordered_k":
+                # The ordered pool reports hits in (key, rowID) order, and
+                # the demux preserves stream order within a request, so the
+                # page's last primitive is the keyset resume point.
+                next_cursor = next_cursor_token(
+                    snapshot.keys, local.prim_indices, klass.limit
+                )
             results.append(
                 RequestResult(
                     request_id=request.request_id,
@@ -384,6 +462,8 @@ class MicroBatchScheduler:
                     num_lookups=request.num_queries,
                     arrival=request.arrival,
                     deadline=request.deadline,
+                    order=request.order,
+                    next_cursor=next_cursor,
                 )
             )
         return results

@@ -274,8 +274,21 @@ class IndexService:
         limit="auto",
         arrival: float = 0.0,
         deadline: float | None = None,
+        order: str | None = None,
+        cursor: str | None = None,
+        pin_epoch: int | None = None,
     ) -> ServeRequest | RequestFailure:
-        """Queue one range-lookup request, optionally with LIMIT-k pushdown."""
+        """Queue one range-lookup request, optionally with LIMIT-k pushdown.
+
+        ``order="key"`` makes the request an ordered page (one range, traced
+        in ``ordered_k`` mode): its result carries a ``next_cursor`` token
+        which, passed back as ``cursor`` together with ``pin_epoch`` set to
+        the first page's result epoch, resumes the scan just past the last
+        returned ``(key, rowID)``.  A pinned page whose epoch has been
+        superseded by an index update fails with ``"epoch_retired"`` rather
+        than serving rows of a different column state — the client restarts
+        the scan explicitly.
+        """
         if isinstance(limit, str):
             if limit != "auto":
                 raise ValueError(
@@ -297,6 +310,9 @@ class IndexService:
                 limit=limit,
                 arrival=arrival,
                 deadline=arrival + deadline if deadline is not None else None,
+                order=order,
+                cursor=cursor,
+                pin_epoch=pin_epoch,
             )
         )
 
@@ -396,6 +412,21 @@ class IndexService:
                     reason="timeout",
                     arrival=request.arrival,
                     completion=now,
+                    deadline=request.deadline,
+                    num_lookups=request.num_queries,
+                )
+            elif request.pin_epoch is not None and request.pin_epoch != snapshot.epoch:
+                # A cursor-resumed page pinned an epoch this window no
+                # longer serves (an update landed mid-pagination).  Serving
+                # it against the new epoch could skip or duplicate rows —
+                # fail explicitly so the client restarts the scan.
+                self.serve_stats.rejections_epoch += 1
+                served[request.request_id] = RequestFailure(
+                    request_id=request.request_id,
+                    kind=request.kind,
+                    reason="epoch_retired",
+                    arrival=request.arrival,
+                    completion=now if now is not None else request.arrival,
                     deadline=request.deadline,
                     num_lookups=request.num_queries,
                 )

@@ -17,6 +17,7 @@ from repro.workloads.keys import (
 )
 from repro.workloads.lookups import (
     limited_range_lookups,
+    paged_scan_lookups,
     point_lookups,
     point_lookups_with_hit_rate,
     range_lookups,
@@ -46,6 +47,7 @@ __all__ = [
     "dense_shuffled_keys",
     "keys_with_multiplicity",
     "limited_range_lookups",
+    "paged_scan_lookups",
     "point_lookups",
     "point_lookups_with_hit_rate",
     "range_lookups",

@@ -166,6 +166,33 @@ def limited_range_lookups(
     return lowers, uppers, limit
 
 
+def paged_scan_lookups(
+    keys: np.ndarray,
+    num_scans: int,
+    span: int,
+    page_size: int,
+    seed: int | np.random.Generator | None = 6,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Ordered-scan workloads: ranges consumed page by page via keyset cursors.
+
+    Each scan is a range ``[l, l + span - 1]`` whose qualifying rows the
+    client drains in ``(key, rowID)`` order, ``page_size`` rows per request
+    (``order="key"`` lookups).  ``span`` must be larger than ``page_size``
+    so every scan needs several pages — otherwise the cursor machinery never
+    engages.  Returns ``(lowers, uppers, page_size)``.
+    """
+    page_size = int(page_size)
+    if page_size < 1:
+        raise ValueError("page_size must be at least 1")
+    if span <= page_size:
+        raise ValueError(
+            f"span ({span}) must exceed page_size ({page_size}); a scan that "
+            "fits one page never resumes a cursor"
+        )
+    lowers, uppers = range_lookups(keys, num_scans, span, seed=seed)
+    return lowers, uppers, page_size
+
+
 def sort_lookups(queries: np.ndarray) -> np.ndarray:
     """Sort a lookup batch by requested key (Section 4.4)."""
     return np.sort(np.asarray(queries))

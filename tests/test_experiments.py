@@ -26,6 +26,7 @@ from repro.bench.experiments import (
     fig16_skew,
     fig17_range,
     fig18_hardware,
+    paging_scan,
     table03_range_origin,
     table04_updates,
     table05_warps,
@@ -37,7 +38,7 @@ SCALE = "tiny"
 
 
 def test_every_experiment_is_registered():
-    assert len(ALL_EXPERIMENTS) == 21
+    assert len(ALL_EXPERIMENTS) == 22
 
 
 def test_every_experiment_produces_text():
@@ -360,6 +361,21 @@ class TestChaosServe:
         assert retries[-1] > 0.0
         assert goodput[-1] < goodput[0]
         assert all(v > 0.0 for v in goodput)
+
+
+class TestPagingScan:
+    def test_cursor_resume_is_flat_while_prefix_rescan_grows(self):
+        result = paging_scan.run(scale=SCALE)
+        for name in ("RX", "SA", "B+"):
+            resume = result.series_by_label(f"{name} (cursor resume)").y
+            rescan = result.series_by_label(f"{name} (prefix rescan)").y
+            # Page 0 costs the same either way (nothing to resume or rescan).
+            assert resume[0] == rescan[0]
+            # Rescan cost grows with page depth; resume cost does not.
+            assert rescan[-1] > 3 * rescan[0]
+            assert max(resume) <= max(resume[0], rescan[0]) * 1.25
+            # At the deepest page, resuming beats rescanning the prefix.
+            assert rescan[-1] > 3 * resume[-1]
 
 
 class TestAblation:

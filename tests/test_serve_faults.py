@@ -66,6 +66,7 @@ def account_everything(stream, report):
             "rejected_deadline",
             "timeout",
             "launch_failed",
+            "epoch_retired",
         }
 
 
@@ -420,6 +421,52 @@ class TestUpdateRollback:
         assert isinstance(service.update(keys1), UpdateFailed)
         assert not isinstance(service.update(keys1), UpdateFailed)
         assert np.array_equal(service.index.keys, keys1)
+
+
+class TestPaginationUnderFaults:
+    def test_mid_pagination_launch_fault_retries_without_skipping_a_page(self):
+        """A launch fault hitting a resumed page mid-scan must be retried
+        idempotently: the retry re-launches the identical rays and cursor
+        filter against the pinned snapshot, so the drained scan is still
+        bit-identical to the clean golden order — no page skipped, none
+        served twice."""
+        keys = dense_shuffled_keys(2048, seed=48)
+        sel = (keys >= np.uint64(100)) & (keys <= np.uint64(900))
+        rows = np.nonzero(sel)[0].astype(np.uint64)
+        golden = rows[np.lexsort((rows, keys[sel]))]
+
+        injector = FaultInjector(seed=FAULT_SEED, specs={
+            # Occurrences 3 and 4: the 4th page's launch faults twice before
+            # its retry succeeds — squarely mid-pagination.
+            "launch": FaultSpec(at={3, 4}),
+        })
+        service = build_service(
+            keys, injector, cache_capacity=0, retry=RetryPolicy(max_retries=3)
+        )
+        pages, cursor, pin = [], None, None
+        for _ in range(10_000):
+            outcome = service.submit_range(
+                np.array([100], dtype=np.uint64),
+                np.array([900], dtype=np.uint64),
+                limit=64,
+                order="key",
+                cursor=cursor,
+                pin_epoch=pin,
+                arrival=float(len(pages)),
+            )
+            assert not isinstance(outcome, RequestFailure)
+            (result,) = service.drain()
+            assert isinstance(result, RequestResult), result
+            pin = result.epoch if pin is None else pin
+            pages.append(result.hits.prim_indices.astype(np.uint64))
+            cursor = result.next_cursor
+            if cursor is None:
+                break
+        assert injector.fired["launch"] == 2
+        assert service.stats()["resilience"]["retries"] == 2
+        flat = np.concatenate(pages)
+        assert np.array_equal(flat, golden)  # no skips, no re-emits
+        assert all(p.shape[0] == 64 for p in pages[:-1])
 
 
 class TestShmBackendServing:

@@ -2,8 +2,8 @@
 
 Generates random scenes and ray batches with the *stdlib* ``random`` module
 (independent of the NumPy generators used inside the engine) and pins
-``TraversalEngine.trace`` in all three modes — ``all``, ``any_hit`` and
-``first_k`` — bit for bit against the golden loops in
+``TraversalEngine.trace`` in all four modes — ``all``, ``any_hit``,
+``first_k`` and ``ordered_k`` — bit for bit against the golden loops in
 :mod:`repro.rtx._reference`: identical hit records (rays, primitives,
 lookup_ids, order) *and* identical counters, across
 
@@ -21,6 +21,9 @@ lookup_ids, order) *and* identical counters, across
 On top of the reference equivalence, every ``first_k`` result is checked
 against its defining property: the hits must be exactly the all-hits stream
 cut to the first ``k`` surviving hits per lookup (a stable top-k cut).
+Likewise every ``ordered_k`` result must be the per-lookup ``k`` smallest
+hits of the all-hits stream under the ``(ray, t, prim)`` order — the sorted
+top-k cut, with ``t`` computed by the shared ``hit_t_pairs`` kernels.
 
 The generator seed defaults to 20260727 and can be overridden with the
 ``DIFF_SEED`` environment variable (CI runs extra seeds).  The harness
@@ -36,6 +39,7 @@ import pytest
 from repro.rtx._reference import (
     reference_any_hit_trace,
     reference_first_k_trace,
+    reference_ordered_k_trace,
     reference_trace,
 )
 from repro.rtx.build_input import build_input_for_points
@@ -147,6 +151,33 @@ def _stable_top_k_cut(all_hits, num_rays: int, limit: int):
     return all_hits.ray_indices[keep], all_hits.prim_indices[keep]
 
 
+def _sorted_top_k_cut(all_hits, buffer, rays, limit: int):
+    """Per lookup: the ``limit`` smallest all-hits under ``(ray, t, prim)``.
+
+    The defining property of ``ordered_k``, computed independently of both
+    the engine and the reference loop — only the ``t`` values come from the
+    shared ``hit_t_pairs`` kernels (their bit-identity is the point).
+    """
+    r = all_hits.ray_indices
+    ts = buffer.hit_t_pairs(
+        np.asarray(rays.origins)[r],
+        np.asarray(rays.directions)[r],
+        np.asarray(rays.tmin)[r],
+        np.asarray(rays.tmax)[r],
+        all_hits.prim_indices,
+    )
+    keep_rays, keep_prims = [], []
+    for lookup in np.unique(all_hits.lookup_ids):
+        sel = np.nonzero(all_hits.lookup_ids == lookup)[0]
+        order = np.lexsort((all_hits.prim_indices[sel], ts[sel], r[sel]))
+        cut = sel[order][:limit]
+        keep_rays.append(r[cut])
+        keep_prims.append(all_hits.prim_indices[cut])
+    if not keep_rays:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    return np.concatenate(keep_rays), np.concatenate(keep_prims)
+
+
 @pytest.mark.parametrize("case_index", range(NUM_CASES))
 def test_all_modes_bit_identical_to_reference(case_index):
     rng = random.Random(DIFF_SEED * 1000 + case_index)
@@ -214,6 +245,20 @@ def test_all_modes_bit_identical_to_reference(case_index):
     cut_rays, cut_prims = _stable_top_k_cut(all_hits, len(rays), limit)
     assert np.array_equal(fk_hits.ray_indices, cut_rays), label
     assert np.array_equal(fk_hits.prim_indices, cut_prims), label
+
+    # ordered_k mode
+    eng = engine()
+    ok_hits = eng.trace(rays, any_hit=any_hit, mode="ordered_k", limit=limit)
+    golden_hits, golden_counters = reference_ordered_k_trace(
+        golden_bvh, buffer, rays, limit, any_hit=any_hit
+    )
+    _assert_same(ok_hits, eng.counters, golden_hits, golden_counters, f"ordered_k {label}")
+
+    # ordered_k defining property: the per-lookup `limit` smallest surviving
+    # hits under the (ray, t, prim) order, reported in that order.
+    cut_rays, cut_prims = _sorted_top_k_cut(all_hits, buffer, rays, limit)
+    assert np.array_equal(ok_hits.ray_indices, cut_rays), label
+    assert np.array_equal(ok_hits.prim_indices, cut_prims), label
 
 
 def test_case_generator_covers_the_grid():
