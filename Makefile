@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-diff test-cursor test-faults bench-smoke bench-strict bench-check bench-serve bench-chaos bench-build bench-paging
+.PHONY: test test-fast test-diff test-cursor test-faults test-persist bench-smoke bench-strict bench-check bench-serve bench-chaos bench-build bench-paging bench-restart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +25,12 @@ test-cursor:
 # (CI runs extra seeds).
 test-faults:
 	$(PYTHON) -m pytest -x -q tests/test_serve_faults.py tests/test_serve_snapshot.py
+
+# Crash-safe epoch store: differential save/load round trips (honours
+# DIFF_SEED) plus the seeded crash/corruption recovery harness (honours
+# FAULT_SEED — CI runs extra seeds).
+test-persist:
+	$(PYTHON) -m pytest -x -q tests/test_persist_roundtrip.py tests/test_persist_recovery.py
 
 bench-smoke:
 	$(PYTHON) benchmarks/perf_smoke.py
@@ -62,3 +68,10 @@ bench-chaos:
 # enforced by the full bench ("bench-strict" / "--paging-only --strict").
 bench-paging:
 	$(PYTHON) benchmarks/perf_smoke.py --paging-only --check-only
+
+# Warm-restart gate: cold snapshot load to first query vs full rebuild at
+# the 2^20-key CI size, loaded-vs-rebuilt identity asserted and the >=1.5x
+# load-vs-rebuild target enforced.  BENCH_engine.json is appended.
+# "--scale paper" runs the 2^26 paper-scale column instead.
+bench-restart:
+	$(PYTHON) benchmarks/perf_smoke.py --restart-only --scale tiny

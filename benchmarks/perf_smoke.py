@@ -54,6 +54,16 @@ Targets (checked, reported, and enforced under ``--strict``):
   bit-identical to the reference ``(key, rowID)`` order
   (``--paging-only``; ``make bench-paging`` runs the check-only CI gate).
 
+A warm-restart scenario (``--restart-only``; ``make bench-restart``) saves
+a built paper-default index through the crash-safe epoch store
+(:mod:`repro.persist`) and times cold-load-to-first-query — a verified
+``RXIndex.load(mmap=True)`` plus one point-lookup batch — against a full
+rebuild plus the same batch, asserting the loaded index answers
+bit-identically first.  The load must come out at least 1.5x faster than
+the rebuild at 2^20 keys (``--scale paper`` lifts it to the paper's 2^26
+column, where the gap widens: checksummed mmap ingest is I/O-bound while
+the rebuild pays the full Morton/LBVH pipeline again).
+
 Every entry now carries ``new_seconds_p50`` / ``new_seconds_p95`` /
 ``timing_repeats`` next to the historical best-of-N ``new_seconds``
 (additive fields; the speedup basis is unchanged).
@@ -94,6 +104,7 @@ FIRSTK_SPEEDUP_TARGET = 2.0
 FOREST_BUILD_SPEEDUP_TARGET = 2.0
 SERVE_SPEEDUP_TARGET = 5.0
 PAGING_SPEEDUP_TARGET = 5.0
+RESTART_SPEEDUP_TARGET = 1.5
 #: CPUs the host must expose before the parallel forest-build target is
 #: enforced (a pool cannot beat the serial build without real concurrency).
 FOREST_TARGET_MIN_CPUS = 4
@@ -723,6 +734,84 @@ def bench_paging(
     return entry
 
 
+def bench_restart(log2_keys: int, compare: bool = True) -> dict:
+    """Cold snapshot load to first query vs a full rebuild to first query.
+
+    Builds a paper-default index over a dense shuffled ``2**log2_keys``-key
+    column, saves it through the crash-safe epoch store, then times the two
+    ways a restarted server can reach its first answered batch:
+
+    * **load** — ``RXIndex.load(mmap=True)``: checksum-verified zero-copy
+      ingest of the committed epoch's segments, then one 64-query
+      point-lookup batch;
+    * **rebuild** — ``RXIndex().build(keys)`` from the raw key column, then
+      the same batch.
+
+    The loaded index must answer the batch bit-identically to the rebuilt
+    one before any timing counts, and the wall-clock ratio is the
+    ``restart`` target.  Each load repeat constructs a fresh index from
+    disk, so the p50/p95 spread reflects genuine cold starts (the page
+    cache stays warm across repeats, as it would on a real restart of a
+    recently-written snapshot).
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.config import RXConfig
+    from repro.core.rx_index import RXIndex
+    from repro.workloads import dense_shuffled_keys
+
+    n = 2**log2_keys
+    keys = dense_shuffled_keys(n, seed=log2_keys + 67)
+    rng = np.random.default_rng(log2_keys)
+    queries = rng.choice(keys, size=64)
+
+    index = RXIndex(RXConfig.paper_default())
+    index.build(keys)
+    golden = index.point_lookup(queries)
+
+    snapdir = Path(tempfile.mkdtemp(prefix="rx-restart-"))
+    try:
+        save_info = index.save(snapdir)
+
+        def cold_load():
+            loaded = RXIndex.load(snapdir, mmap=True)
+            return loaded, loaded.point_lookup(queries)
+
+        def rebuild():
+            fresh = RXIndex(RXConfig.paper_default())
+            fresh.build(keys)
+            return fresh, fresh.point_lookup(queries)
+
+        loaded, replay = cold_load()  # warm-up + identity gate
+        assert np.array_equal(golden.result_rows, replay.result_rows), (
+            "loaded index answered differently from the index it snapshots"
+        )
+        assert golden.stats == replay.stats, (
+            "loaded index did different traversal work than the original"
+        )
+        timing = _time_stats(cold_load, repeats=3)
+        entry = {
+            "path": "restart",
+            "log2_keys": log2_keys,
+            "bytes_on_disk": save_info["bytes_on_disk"],
+            "segments_total": save_info["segments_total"],
+            "load_epoch": loaded.epoch,
+            **timing,
+        }
+        if compare:
+            rebuilt, again = rebuild()
+            assert np.array_equal(golden.result_rows, again.result_rows)
+            assert bvh_arrays_diff(loaded.accel.bvh, rebuilt.accel.bvh) is None, (
+                "loaded accel diverged from a from-scratch build"
+            )
+            entry["ref_seconds"] = _time(rebuild, repeats=1)
+            entry["speedup"] = entry["ref_seconds"] / entry["new_seconds"]
+        return entry
+    finally:
+        shutil.rmtree(snapdir, ignore_errors=True)
+
+
 def bench_chaos_serve(
     log2_keys: int,
     log2_requests: int,
@@ -950,14 +1039,46 @@ def run_smoke(quick: bool = False) -> list[dict]:
     return entries
 
 
+#: Keys every BENCH entry must carry before it may enter the artifact: the
+#: scenario identity plus the full timing-distribution block.  A scenario
+#: that forgets one (a new bench hand-rolling its entry dict instead of
+#: spreading ``_time_stats``) would silently poison the trajectory for
+#: every later comparison, so ``append_artifact`` refuses it up front.
+REQUIRED_ENTRY_KEYS = (
+    "path",
+    "new_seconds",
+    "new_seconds_p50",
+    "new_seconds_p95",
+    "timing_repeats",
+)
+
+
+def validate_entries(entries: list[dict]) -> None:
+    """Reject malformed BENCH entries before they reach the artifact."""
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(
+                f"BENCH entry #{position} is {type(entry).__name__}, not a dict"
+            )
+        missing = [key for key in REQUIRED_ENTRY_KEYS if key not in entry]
+        if missing:
+            label = entry.get("path", f"#{position}")
+            raise ValueError(
+                f"BENCH entry {label!r} is missing required keys: "
+                f"{', '.join(missing)}"
+            )
+
+
 def append_artifact(entries: list[dict], path: Path = DEFAULT_ARTIFACT) -> dict:
     """Append one run to the ``BENCH_engine.json`` trajectory artifact.
 
     Every entry records the worker-pool size and shard count it ran with
     (1/1 for the unsharded serial paths) plus the run records the host CPU
     count, so trajectories from machines with different parallel hardware
-    remain comparable.
+    remain comparable.  Entries missing the required identity/timing keys
+    are rejected (:func:`validate_entries`) before anything is written.
     """
+    validate_entries(entries)
     if path.exists():
         trajectory = json.loads(path.read_text())
     else:
@@ -1051,6 +1172,12 @@ def check_targets(entries: list[dict]) -> list[str]:
                     f"k={entry['page_size']}: resume {speedup:.2f}x < "
                     f"{PAGING_SPEEDUP_TARGET}x vs prefix rescan"
                 )
+        if entry["path"] == "restart" and entry["log2_keys"] >= 20:
+            if speedup < RESTART_SPEEDUP_TARGET:
+                problems.append(
+                    f"restart 2^{entry['log2_keys']} keys: cold load "
+                    f"{speedup:.2f}x < {RESTART_SPEEDUP_TARGET}x vs rebuild"
+                )
     return problems
 
 
@@ -1085,6 +1212,11 @@ def format_table(entries: list[dict]) -> str:
         elif entry["path"] == "paging":
             config = (
                 f"2^{entry['log2_range_rows']} rows k={entry['page_size']}"
+            )
+        elif entry["path"] == "restart":
+            config = (
+                f"2^{entry['log2_keys']} keys "
+                f"{entry['bytes_on_disk'] / 1e6:.0f} MB"
             )
         else:
             config = f"2^{entry['log2_keys']} keys"
@@ -1144,14 +1276,37 @@ def main(argv: list[str] | None = None) -> int:
         f"{FOREST_TARGET_MIN_CPUS} CPUs (make bench-build)",
     )
     parser.add_argument(
+        "--restart-only",
+        action="store_true",
+        help="run only the warm-restart scenario (cold snapshot load to "
+        "first query vs full rebuild, identity asserted, artifact "
+        "appended; the restart target is enforced at 2^20 keys and up; "
+        "make bench-restart)",
+    )
+    parser.add_argument(
         "--scale",
         choices=("tiny", "paper"),
         default="tiny",
-        help="key count of the --build-only scenario: tiny = 2^20 (the CI "
-        "gate), paper = 2^26 (the paper-scale build, ~40 GB of shared "
-        "blocks and several minutes of wall-clock)",
+        help="key count of the --build-only / --restart-only scenarios: "
+        "tiny = 2^20 (the CI gate), paper = 2^26 (the paper-scale column "
+        "— for builds ~40 GB of shared blocks and several minutes of "
+        "wall-clock)",
     )
     args = parser.parse_args(argv)
+
+    if args.restart_only:
+        log2_keys = 20 if args.scale == "tiny" else 26
+        entries = [bench_restart(log2_keys)]
+        append_artifact(entries, args.out)
+        print(format_table(entries))
+        problems = check_targets(entries)
+        if problems:
+            print("\nTARGETS MISSED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print("\nrestart target met")
+        return 0
 
     if args.build_only:
         log2_keys = 20 if args.scale == "tiny" else 26

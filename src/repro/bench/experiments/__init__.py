@@ -25,6 +25,7 @@ module                    paper result
 ``serve_throughput``      extra — serving layer: micro-batched vs solo launches
 ``chaos_serve``           extra — serving goodput under injected faults
 ``paging_scan``           extra — keyset-cursor resume vs prefix rescan
+``restart``               extra — cold snapshot load vs full rebuild
 ========================  =====================================================
 """
 
@@ -45,6 +46,7 @@ from repro.bench.experiments import (  # noqa: F401
     fig17_range,
     fig18_hardware,
     paging_scan,
+    restart,
     serve_throughput,
     table03_range_origin,
     table04_updates,
@@ -76,6 +78,7 @@ ALL_EXPERIMENTS = {
     "serve": serve_throughput,
     "chaos": chaos_serve,
     "paging": paging_scan,
+    "restart": restart,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

@@ -339,3 +339,58 @@ class RXConfig:
     def paper_default() -> "RXConfig":
         """The configuration the paper selects for its main evaluation."""
         return RXConfig()
+
+    def as_dict(self) -> dict:
+        """JSON-safe form of the full configuration (enums by value, the
+        decomposition by its ``"x+y+z"`` label) — what the persistent epoch
+        store records in its manifest so ``RXIndex.load`` can reconstruct
+        the index exactly as configured at save time."""
+        return {
+            "key_mode": self.key_mode.value,
+            "primitive": self.primitive.value,
+            "point_ray_mode": self.point_ray_mode.value,
+            "range_ray_mode": self.range_ray_mode.value,
+            "decomposition": self.decomposition.label(),
+            "compaction": self.compaction,
+            "update_policy": self.update_policy.value,
+            "allow_updates": self.allow_updates,
+            "bvh_builder": self.bvh_builder,
+            "max_leaf_size": self.max_leaf_size,
+            "morton_bits": self.morton_bits,
+            "shard_bits": self.shard_bits,
+            "build_workers": self.build_workers,
+            "build_backend": self.build_backend,
+            "sphere_radius": self.sphere_radius,
+            "max_rays_per_range": self.max_rays_per_range,
+            "value_bytes": self.value_bytes,
+            "point_trace_mode": self.point_trace_mode,
+            "range_limit": self.range_limit,
+            "serve_max_batch": self.serve_max_batch,
+            "serve_max_wait": self.serve_max_wait,
+            "serve_cache_capacity": self.serve_cache_capacity,
+            "serve_deadline": self.serve_deadline,
+            "serve_max_queue": self.serve_max_queue,
+            "serve_retry_max": self.serve_retry_max,
+            "serve_retry_backoff": self.serve_retry_backoff,
+            "serve_retry_factor": self.serve_retry_factor,
+            "serve_retry_jitter": self.serve_retry_jitter,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RXConfig":
+        """Inverse of :meth:`as_dict`; validates the reconstructed config."""
+        data = dict(data)
+        try:
+            config = RXConfig(
+                key_mode=KeyMode(data.pop("key_mode")),
+                primitive=PrimitiveType(data.pop("primitive")),
+                point_ray_mode=PointRayMode(data.pop("point_ray_mode")),
+                range_ray_mode=RangeRayMode(data.pop("range_ray_mode")),
+                decomposition=KeyDecomposition.from_label(data.pop("decomposition")),
+                update_policy=UpdatePolicy(data.pop("update_policy")),
+                **data,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed RXConfig dict: {exc}") from exc
+        config.validate()
+        return config

@@ -48,23 +48,54 @@ def encode_cursor(key: int, row_id: int) -> str:
     return Cursor(int(key), int(row_id)).encode()
 
 
-def parse_cursor(token: "str | Cursor | None") -> Cursor | None:
-    """Decode a cursor token; ``None`` (first page) passes through."""
-    if token is None or isinstance(token, Cursor):
-        return token
-    if not isinstance(token, str):
-        raise ValueError(f"cursor must be a 'key|row_id' string, got {token!r}")
-    key_part, sep, row_part = token.partition("|")
-    if not sep:
-        raise ValueError(f"malformed cursor {token!r}: expected 'key|row_id'")
-    try:
-        key = int(key_part)
-        row_id = int(row_part)
-    except ValueError as exc:
-        raise ValueError(f"malformed cursor {token!r}: expected 'key|row_id'") from exc
-    if key < 0 or row_id < 0:
+def parse_cursor(
+    token: "str | Cursor | None", max_key: int | None = None
+) -> Cursor | None:
+    """Decode a cursor token; ``None`` (first page) passes through.
+
+    Every way a client-supplied token can be malformed — wrong field count,
+    non-integer parts, negative values, a key or rowID too large for the
+    engine's fixed-width arithmetic, or (with ``max_key``) a key outside
+    the codec's representable range — raises a single clean ``ValueError``
+    here at the API boundary, never an internal overflow from deep inside
+    the codec or the filter builder.
+    """
+    if token is None:
+        return None
+    if isinstance(token, Cursor):
+        cursor = token
+    else:
+        if not isinstance(token, str):
+            raise ValueError(f"cursor must be a 'key|row_id' string, got {token!r}")
+        key_part, sep, row_part = token.partition("|")
+        if not sep:
+            raise ValueError(f"malformed cursor {token!r}: expected 'key|row_id'")
+        try:
+            key = int(key_part)
+            row_id = int(row_part)
+        except ValueError as exc:
+            raise ValueError(
+                f"malformed cursor {token!r}: expected 'key|row_id'"
+            ) from exc
+        cursor = Cursor(key, row_id)
+    if cursor.key < 0 or cursor.row_id < 0:
         raise ValueError(f"malformed cursor {token!r}: key and row_id must be >= 0")
-    return Cursor(key, row_id)
+    # The engine stores keys as uint64 and rowIDs as int64; anything wider
+    # would overflow far from the API boundary.
+    if cursor.key >= 1 << 64:
+        raise ValueError(
+            f"malformed cursor {token!r}: key does not fit an unsigned 64-bit key"
+        )
+    if cursor.row_id >= 1 << 63:
+        raise ValueError(
+            f"malformed cursor {token!r}: row_id does not fit a 64-bit rowID"
+        )
+    if max_key is not None and cursor.key > int(max_key):
+        raise ValueError(
+            f"malformed cursor {token!r}: key {cursor.key} exceeds the codec's "
+            f"maximum representable key {int(max_key)}"
+        )
+    return cursor
 
 
 def make_cursor_filter(keys: np.ndarray, cursors, base_any_hit=None):

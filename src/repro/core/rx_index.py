@@ -45,11 +45,15 @@ from repro.core.results import (
     hits_per_lookup,
 )
 from repro.gpusim.counters import WorkProfile
+from repro.persist import SnapshotCorrupt, load_snapshot, save_snapshot
 from repro.rtx.build_input import BuildFlags, build_input_for_points
-from repro.rtx.bvh import BvhBuildOptions
+from repro.rtx.bvh import BvhBuildOptions, bvh_from_arrays, bvh_state_arrays
+from repro.rtx.forest import forest_from_saved, forest_state_segments
 from repro.rtx.memory import accel_memory_estimate
 from repro.rtx.pipeline import (
+    BuildMetrics,
     DeviceContext,
+    GeometryAccel,
     Pipeline,
     accel_build,
     accel_compact,
@@ -126,6 +130,9 @@ class RXIndex(GpuIndex):
         #: result-preserving when every query has at most one match).
         #: Computed lazily — None means "not checked for the current column".
         self._keys_unique: bool | None = None
+        #: telemetry of the epoch store interactions, mirrored into
+        #: ``stats()["persist"]`` next to the ``"build"`` block.
+        self._persist_stats: dict = self._empty_persist_stats()
 
     # ------------------------------------------------------------------ #
     # build
@@ -390,7 +397,7 @@ class RXIndex(GpuIndex):
         upper = int(uppers[0])
         if upper < lower:
             raise ValueError("range lookups require upper >= lower")
-        cur = parse_cursor(cursor)
+        cur = parse_cursor(cursor, max_key=self.codec.max_key())
         # Resume *at* the cursor key (duplicates may straddle the page
         # boundary); the exclusive filter below rejects the already-paid
         # rows of that key.  Clamping to the upper bound keeps the ray
@@ -550,6 +557,246 @@ class RXIndex(GpuIndex):
         )
 
     # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _empty_persist_stats() -> dict:
+        return {
+            "saves": 0,
+            "loads": 0,
+            "last_save_seconds": None,
+            "last_load_seconds": None,
+            "checksum_verify_seconds": None,
+            "bytes_on_disk": 0,
+            "segments_total": 0,
+            "segments_rewritten": 0,
+            "segments_reused": 0,
+            "last_epoch": None,
+        }
+
+    def save(self, path, fault_injector=None) -> dict:
+        """Persist the built index as one crash-safe epoch snapshot.
+
+        Every accel component becomes an immutable, checksummed segment
+        file under ``path``: the key/value columns, plus either the single
+        BVH's node arrays or one segment per forest shard.  The save
+        commits by atomically renaming a new manifest — a crash at any
+        earlier point leaves the previous committed epoch untouched.
+        Segments whose payload did not change since the last committed
+        manifest are referenced instead of rewritten, so a save after a
+        DELTA_SHARD update only writes the dirty shards (plus columns).
+        """
+        accel = self.accel
+        segments: dict = {
+            "columns": (
+                {
+                    "keys": np.ascontiguousarray(self.keys),
+                    "values": np.ascontiguousarray(self.values),
+                },
+                None,
+            )
+        }
+        if accel.forest is None:
+            segments["bvh"] = (
+                {
+                    name: np.ascontiguousarray(array)
+                    for name, array in bvh_state_arrays(accel.bvh).items()
+                },
+                {"refit_generation": int(accel.bvh.refit_generation)},
+            )
+        else:
+            for bucket, arrays, meta in forest_state_segments(accel.forest):
+                segments[f"shard-{bucket:05d}"] = (arrays, meta)
+        index_meta = {
+            "config": self.config.as_dict(),
+            "num_keys": int(self.num_keys),
+            "num_primitives": int(accel.bvh.num_primitives),
+            "kind": "bvh" if accel.forest is None else "forest",
+            "compacted": bool(accel.compacted),
+            "refit_generation": int(accel.bvh.refit_generation),
+        }
+        result = save_snapshot(
+            path,
+            epoch=max(self.epoch, 0),
+            segments=segments,
+            index_meta=index_meta,
+            fault_injector=fault_injector,
+        )
+        self._persist_stats.update(
+            saves=self._persist_stats["saves"] + 1,
+            last_save_seconds=result.save_seconds,
+            bytes_on_disk=result.bytes_on_disk,
+            segments_total=result.segments_total,
+            segments_rewritten=result.segments_rewritten,
+            segments_reused=result.segments_reused,
+            last_epoch=result.epoch,
+        )
+        return result.as_dict()
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        mmap: bool = True,
+        context: DeviceContext | None = None,
+        max_frontier: int | None = None,
+        fault_injector=None,
+    ) -> "RXIndex":
+        """Open the last committed snapshot at ``path`` as a fresh index.
+
+        The configuration is taken from the snapshot, every segment is
+        checksum-verified before use, and with ``mmap=True`` the column and
+        node arrays stay zero-copy views into the segment files — the
+        cold-start path the restart benchmark measures.  Lookups against
+        the loaded index are bit-identical to the index that was saved.
+        """
+        snap = load_snapshot(path, mmap=mmap, fault_injector=fault_injector)
+        index = cls(
+            config=RXConfig.from_dict(snap.index_meta["config"]),
+            context=context,
+            max_frontier=max_frontier,
+        )
+        index._install_snapshot(snap)
+        index.epoch = snap.epoch
+        return index
+
+    def restore_from(self, path, mmap: bool = True, fault_injector=None) -> dict:
+        """Adopt the last committed snapshot at ``path`` into *this* index.
+
+        The warm-restart form of :meth:`load`: the index object (and
+        whatever serving state observes it) stays, the accel state is
+        swapped for the snapshot's, and the epoch counter advances past
+        both the snapshot's tag and the current epoch so epoch-keyed
+        consumers (caches, pinned cursor pages) see a state change.
+        """
+        snap = load_snapshot(path, mmap=mmap, fault_injector=fault_injector)
+        config = RXConfig.from_dict(snap.index_meta["config"])
+        config.validate()
+        self.config = config
+        self.codec = make_codec(config.key_mode, config.decomposition)
+        self._install_snapshot(snap)
+        self.epoch = max(snap.epoch, self.epoch + 1)
+        return {
+            "epoch": self.epoch,
+            "snapshot_epoch": snap.epoch,
+            "manifest_version": snap.manifest_version,
+            "load_seconds": snap.load_seconds,
+            "bytes_on_disk": snap.bytes_on_disk,
+            "segments_total": snap.segments_total,
+        }
+
+    def _install_snapshot(self, snap) -> None:
+        """Rebuild the live accel state from a verified snapshot."""
+        meta = snap.index_meta
+        columns = snap.arrays("columns")
+        self._store_column(columns["keys"], columns["values"], key_bits=64)
+        if int(meta.get("num_keys", self.num_keys)) != self.num_keys:
+            raise SnapshotCorrupt(
+                f"snapshot manifest records {meta.get('num_keys')} keys but the "
+                f"columns segment holds {self.num_keys}",
+                segment="columns",
+            )
+
+        if self._accel is not None:
+            self.context.memory.free(self._accel.memory_handle)
+            self._accel = None
+
+        build_input = self._make_build_input(self.keys)
+        buffer = build_input.primitive_buffer()
+        flags = self._build_flags()
+        base = self._bvh_options()
+        # Normalise exactly like accel_build so the restored options compare
+        # equal to the ones the original build ran with.
+        options = BvhBuildOptions(
+            builder=base.builder,
+            max_leaf_size=base.max_leaf_size,
+            sah_bins=base.sah_bins,
+            morton_bits=base.morton_bits,
+            allow_update=bool(flags & BuildFlags.ALLOW_UPDATE),
+            allow_compaction=bool(flags & BuildFlags.ALLOW_COMPACTION),
+            shard_bits=base.shard_bits,
+            workers=base.workers,
+            backend=base.backend,
+        )
+        compacted = bool(meta.get("compacted", False))
+        if meta.get("kind") == "forest":
+            shard_rows: dict = {}
+            shard_tree_arrays: dict = {}
+            for name in snap.segments:
+                if not name.startswith("shard-"):
+                    continue
+                seg_arrays = snap.arrays(name)
+                seg_meta = snap.meta(name)
+                bucket = int(seg_meta["bucket"])
+                shard_rows[bucket] = seg_arrays["rows"]
+                if seg_meta.get("delegated"):
+                    shard_tree_arrays[bucket] = {
+                        k: v for k, v in seg_arrays.items() if k != "rows"
+                    }
+            forest = forest_from_saved(buffer, options, shard_rows, shard_tree_arrays)
+            bvh = forest.bvh
+            bvh.compacted = compacted
+        else:
+            forest = None
+            bvh = bvh_from_arrays(
+                snap.arrays("bvh"),
+                num_primitives=int(meta.get("num_primitives", self.num_keys)),
+                options=options,
+                compacted=compacted,
+                refit_generation=int(meta.get("refit_generation", 0)),
+            )
+
+        # Mirror the build path's device-memory accounting: the accel is
+        # allocated uncompacted, then (when the snapshot was compacted) the
+        # compacted allocation replaces it.
+        memory_info = accel_memory_estimate(buffer.kind, len(buffer))
+        accel_handle = self.context.memory.alloc("accel", memory_info["uncompacted"])
+        accel = GeometryAccel(
+            bvh=bvh,
+            build_input=build_input,
+            flags=flags,
+            memory_handle=accel_handle,
+            memory_info=memory_info,
+            build_metrics=BuildMetrics(num_primitives=len(buffer)),
+            forest=forest,
+        )
+        if compacted:
+            new_handle = self.context.memory.alloc(
+                "accel_compacted", memory_info["compacted"]
+            )
+            self.context.memory.free(accel.memory_handle)
+            accel.memory_handle = new_handle
+            accel.compacted = True
+        self._accel = accel
+        self._pipeline = Pipeline(self.context, accel, max_frontier=self.max_frontier)
+        self._last_build_seconds = None
+        memory = self.memory_footprint()
+        self._build_result = BuildResult(
+            num_keys=self.num_keys,
+            key_bits=64,
+            memory=memory,
+            stats={
+                "primitive": self.config.primitive.value,
+                "key_mode": self.config.key_mode.value,
+                "builder": self.config.bvh_builder,
+                "bvh_nodes": bvh.node_count,
+                "bvh_depth": bvh.depth(),
+                "bvh_leaves": bvh.leaf_count,
+                "compacted": compacted,
+                "restored_from_snapshot": True,
+            },
+        )
+        self._persist_stats.update(
+            loads=self._persist_stats["loads"] + 1,
+            last_load_seconds=snap.load_seconds,
+            checksum_verify_seconds=snap.checksum_verify_seconds,
+            bytes_on_disk=snap.bytes_on_disk,
+            segments_total=snap.segments_total,
+            last_epoch=snap.epoch,
+        )
+
+    # ------------------------------------------------------------------ #
     # costing
     # ------------------------------------------------------------------ #
 
@@ -589,6 +836,7 @@ class RXIndex(GpuIndex):
             "device_bytes_peak": self.context.memory.peak_bytes,
             "intersection_pack_warm": buffer.intersection_pack_warm,
             "build": self._build_stats_block(forest),
+            "persist": dict(self._persist_stats),
             "trace_counters": self._pipeline.engine.counters.as_dict()
             if self._pipeline is not None
             else {},

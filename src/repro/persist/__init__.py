@@ -1,0 +1,49 @@
+"""Crash-safe persistent epoch store for the RX index.
+
+Immutable, CRC32C-checksummed segment files per epoch plus one atomically
+swapped manifest (WAL-flavoured: readers of a committed snapshot never
+observe a writer's partial work).  ``RXIndex.save(path)`` /
+``RXIndex.load(path, mmap=True)`` are the public entry points; this
+package supplies the file formats, the commit protocol, the verification
+reads and the recovery error taxonomy underneath them.
+
+Modules
+-------
+``checksum``   vectorised CRC32C (slicing-by-64 + GF(2) tree combine)
+``segments``   immutable segment files, atomic publish, verified reads
+``manifest``   the versioned manifest — the single commit/visibility point
+``store``      save/load orchestration, incremental reuse, orphan GC
+``errors``     ``SnapshotError`` / ``SnapshotTorn`` / ``SnapshotCorrupt``
+"""
+
+from repro.persist.checksum import Crc32c, crc32c, crc32c_of_parts, crc32c_reference
+from repro.persist.errors import SnapshotCorrupt, SnapshotError, SnapshotTorn
+from repro.persist.manifest import MANIFEST_NAME, commit_manifest, load_manifest
+from repro.persist.segments import read_segment, write_segment
+from repro.persist.store import (
+    LoadedSnapshot,
+    SaveResult,
+    gc_orphans,
+    load_snapshot,
+    save_snapshot,
+)
+
+__all__ = [
+    "Crc32c",
+    "crc32c",
+    "crc32c_of_parts",
+    "crc32c_reference",
+    "SnapshotCorrupt",
+    "SnapshotError",
+    "SnapshotTorn",
+    "MANIFEST_NAME",
+    "commit_manifest",
+    "load_manifest",
+    "read_segment",
+    "write_segment",
+    "LoadedSnapshot",
+    "SaveResult",
+    "gc_orphans",
+    "load_snapshot",
+    "save_snapshot",
+]

@@ -1,0 +1,85 @@
+"""The versioned manifest — the epoch store's single commit point.
+
+``MANIFEST.json`` at the store root is the *only* mutable file in the
+store.  It records the committed epoch, a monotonically increasing
+manifest version, the index metadata needed to reconstruct an
+:class:`~repro.core.rx_index.RXIndex` (config, key count, compaction
+flag), and one entry per segment: a store-relative path (which may point
+into an *older* epoch directory when an incremental save reused a clean
+segment), whole-file and payload CRC32Cs, the byte length, and the epoch
+that wrote the segment.
+
+Commit protocol: the manifest is serialised, written to a temp file,
+fsynced, and atomically renamed over ``MANIFEST.json``, then the store
+directory entry is fsynced.  A snapshot is visible **iff** that rename
+landed — an interrupted save leaves either the previous manifest (whose
+segments are immutable and untouched) or no manifest at all, never a torn
+or mixed-epoch view.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.persist.errors import SnapshotCorrupt, SnapshotTorn
+from repro.persist.segments import atomic_write, fsync_dir
+
+MANIFEST_NAME = "MANIFEST.json"
+FORMAT_VERSION = 1
+
+_REQUIRED_KEYS = ("format_version", "version", "epoch", "index", "segments")
+_REQUIRED_ENTRY_KEYS = ("path", "crc32c", "payload_crc32c", "length", "epoch")
+
+
+def commit_manifest(root: Path, manifest: dict, fault_injector=None) -> Path:
+    """Atomically publish ``manifest`` at the store root (the commit point)."""
+    root = Path(root)
+    blob = (json.dumps(manifest, sort_keys=True, indent=2) + "\n").encode("utf-8")
+    path = root / MANIFEST_NAME
+    atomic_write(path, blob, fault_injector)
+    fsync_dir(root)
+    return path
+
+
+def load_manifest(root: Path) -> dict:
+    """Read and structurally validate the committed manifest, if any."""
+    root = Path(root)
+    path = root / MANIFEST_NAME
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError as exc:
+        raise SnapshotTorn(
+            f"no committed snapshot at {root} (missing {MANIFEST_NAME})",
+            segment=MANIFEST_NAME,
+        ) from exc
+    try:
+        manifest = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SnapshotCorrupt(
+            f"manifest at {root} is not valid JSON: {exc}", segment=MANIFEST_NAME
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise SnapshotCorrupt(
+            f"manifest at {root} is not a JSON object", segment=MANIFEST_NAME
+        )
+    missing = [key for key in _REQUIRED_KEYS if key not in manifest]
+    if missing:
+        raise SnapshotCorrupt(
+            f"manifest at {root} is missing required keys {missing}",
+            segment=MANIFEST_NAME,
+        )
+    if manifest["format_version"] != FORMAT_VERSION:
+        raise SnapshotCorrupt(
+            f"manifest format version {manifest['format_version']!r} is not "
+            f"supported (expected {FORMAT_VERSION})",
+            segment=MANIFEST_NAME,
+        )
+    for name, entry in manifest["segments"].items():
+        entry_missing = [key for key in _REQUIRED_ENTRY_KEYS if key not in entry]
+        if entry_missing:
+            raise SnapshotCorrupt(
+                f"manifest entry for segment {name} is missing keys {entry_missing}",
+                segment=name,
+            )
+    return manifest

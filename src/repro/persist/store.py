@@ -1,0 +1,260 @@
+"""Epoch-store orchestration: durable saves, verified loads, orphan GC.
+
+On-disk layout of one store (``path`` handed to ``RXIndex.save``)::
+
+    path/
+      MANIFEST.json            <- the only mutable file; atomic-rename commit
+      epoch-00000000/          <- immutable segments written by epoch 0
+        columns.seg
+        bvh.seg                (single-tree builds)
+        shard-00012.seg ...    (forest builds: one segment per shard)
+      epoch-00000001/          <- an incremental save writes only dirty
+        columns.seg               segments here; its manifest references
+        shard-00012.seg           the clean ones from epoch-00000000
+
+Incremental saves are driven by content, not bookkeeping: every segment's
+payload CRC32C is compared against the previous manifest's entry, and a
+matching segment is *referenced* (its immutable file reused, possibly from
+an older epoch directory) instead of rewritten.  After a DELTA_SHARD
+update only the dirty shards' payloads change, so exactly those segments
+(plus the key column) hit the disk.
+
+Crash safety: segments and the manifest are published with write-temp →
+fsync → atomic rename, and a snapshot is visible iff the manifest rename
+landed.  A save killed at any boundary leaves the previous committed
+epoch fully intact; the next save or load garbage-collects the orphaned
+``.tmp.*`` files, and a committed save prunes segment files no longer
+referenced by the new manifest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.persist.errors import SnapshotError
+from repro.persist.manifest import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    commit_manifest,
+    load_manifest,
+)
+from repro.persist.segments import (
+    TMP_PREFIX,
+    payload_crc,
+    read_segment,
+    write_segment,
+)
+
+
+def gc_orphans(root: Path) -> int:
+    """Remove ``.tmp.*`` files an interrupted save left behind."""
+    root = Path(root)
+    removed = 0
+    if not root.is_dir():
+        return 0
+    for path in sorted(root.rglob(f"{TMP_PREFIX}*")):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - racing cleanup
+            pass
+    return removed
+
+
+def _prune_unreferenced(root: Path, manifest: dict) -> int:
+    """Drop committed-but-unreferenced segment files (torn-save leftovers and
+    segments the newest manifest no longer references)."""
+    referenced = {(root / entry["path"]).resolve() for entry in manifest["segments"].values()}
+    removed = 0
+    for epoch_dir in sorted(root.glob("epoch-*")):
+        if not epoch_dir.is_dir():
+            continue
+        for path in sorted(epoch_dir.iterdir()):
+            if path.is_file() and path.resolve() not in referenced:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
+        try:
+            epoch_dir.rmdir()  # only succeeds once fully empty
+        except OSError:
+            pass
+    return removed
+
+
+@dataclass
+class SaveResult:
+    """Accounting of one committed save (feeds ``stats()["persist"]``)."""
+
+    epoch: int
+    manifest_version: int
+    save_seconds: float
+    bytes_on_disk: int
+    segments_total: int
+    segments_rewritten: int
+    segments_reused: int
+    orphans_removed: int
+
+    def as_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "manifest_version": self.manifest_version,
+            "save_seconds": self.save_seconds,
+            "bytes_on_disk": self.bytes_on_disk,
+            "segments_total": self.segments_total,
+            "segments_rewritten": self.segments_rewritten,
+            "segments_reused": self.segments_reused,
+            "orphans_removed": self.orphans_removed,
+        }
+
+
+@dataclass
+class LoadedSnapshot:
+    """A verified snapshot: manifest metadata plus per-segment array views."""
+
+    epoch: int
+    manifest_version: int
+    index_meta: dict
+    #: segment name -> (arrays, segment meta); arrays are zero-copy views
+    #: into the memory-mapped files when the load ran with ``mmap=True``.
+    segments: dict[str, tuple[dict[str, np.ndarray], dict]]
+    bytes_on_disk: int
+    load_seconds: float
+    checksum_verify_seconds: float
+    orphans_removed: int
+    segments_total: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.segments_total = len(self.segments)
+
+    def arrays(self, name: str) -> dict[str, np.ndarray]:
+        return self.segments[name][0]
+
+    def meta(self, name: str) -> dict:
+        return self.segments[name][1]
+
+
+def save_snapshot(
+    path: Path,
+    *,
+    epoch: int,
+    segments: dict[str, tuple[dict[str, np.ndarray], dict | None]],
+    index_meta: dict,
+    fault_injector=None,
+) -> SaveResult:
+    """Write one epoch's segments and commit a new manifest.
+
+    ``segments`` maps segment names to ``(arrays, meta)``.  Segments whose
+    payload CRC matches the previous committed manifest are referenced
+    from their existing epoch directory instead of rewritten; everything
+    else is published under ``epoch-{epoch:08d}/`` with the atomic write
+    protocol.  The manifest commit is the single visibility point.
+    """
+    start = time.perf_counter()
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    orphans_removed = gc_orphans(root)
+
+    try:
+        prior = load_manifest(root)
+    except SnapshotError:
+        prior = None
+    prior_entries = prior["segments"] if prior else {}
+
+    epoch = int(epoch)
+    epoch_dir = f"epoch-{epoch:08d}"
+    (root / epoch_dir).mkdir(exist_ok=True)
+
+    manifest_entries: dict[str, dict] = {}
+    rewritten = 0
+    reused = 0
+    for name, (arrays, meta) in segments.items():
+        prior_entry = prior_entries.get(name)
+        if (
+            prior_entry is not None
+            and int(prior_entry["payload_crc32c"]) == payload_crc(arrays)
+            and (root / prior_entry["path"]).is_file()
+        ):
+            manifest_entries[name] = dict(prior_entry)
+            reused += 1
+            continue
+        rel = f"{epoch_dir}/{name}.seg"
+        entry = write_segment(
+            root / rel,
+            name=name,
+            epoch=epoch,
+            arrays=arrays,
+            meta=meta,
+            fault_injector=fault_injector,
+        )
+        entry["path"] = rel
+        manifest_entries[name] = entry
+        rewritten += 1
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "version": int(prior["version"]) + 1 if prior else 1,
+        "epoch": epoch,
+        "index": index_meta,
+        "segments": manifest_entries,
+    }
+    commit_manifest(root, manifest, fault_injector)
+    _prune_unreferenced(root, manifest)
+    return SaveResult(
+        epoch=epoch,
+        manifest_version=manifest["version"],
+        save_seconds=time.perf_counter() - start,
+        bytes_on_disk=sum(int(entry["length"]) for entry in manifest_entries.values()),
+        segments_total=len(manifest_entries),
+        segments_rewritten=rewritten,
+        segments_reused=reused,
+        orphans_removed=orphans_removed,
+    )
+
+
+def load_snapshot(
+    path: Path, *, mmap: bool = True, fault_injector=None
+) -> LoadedSnapshot:
+    """Open the last committed epoch, verifying every referenced segment.
+
+    Every segment is checked for existence, length, whole-file CRC32C and
+    its own epoch tag against the manifest entry before any array view is
+    handed out — a failure raises :class:`SnapshotTorn` /
+    :class:`SnapshotCorrupt` naming the segment, and no partially-verified
+    state escapes.  Orphaned temp files from interrupted saves are
+    garbage-collected on the way.
+    """
+    start = time.perf_counter()
+    root = Path(path)
+    orphans_removed = gc_orphans(root)
+    manifest = load_manifest(root)
+    segments: dict[str, tuple[dict[str, np.ndarray], dict]] = {}
+    verify_seconds = 0.0
+    for name in sorted(manifest["segments"]):
+        entry = manifest["segments"][name]
+        verify_start = time.perf_counter()
+        arrays, meta = read_segment(
+            root / entry["path"],
+            mmap=mmap,
+            expected=entry,
+            fault_injector=fault_injector,
+        )
+        verify_seconds += time.perf_counter() - verify_start
+        segments[name] = (arrays, meta)
+    return LoadedSnapshot(
+        epoch=int(manifest["epoch"]),
+        manifest_version=int(manifest["version"]),
+        index_meta=manifest["index"],
+        segments=segments,
+        bytes_on_disk=sum(
+            int(entry["length"]) for entry in manifest["segments"].values()
+        ),
+        load_seconds=time.perf_counter() - start,
+        checksum_verify_seconds=verify_seconds,
+        orphans_removed=orphans_removed,
+    )

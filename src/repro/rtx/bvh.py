@@ -349,6 +349,44 @@ def bvh_arrays_diff(a: Bvh, b: Bvh) -> str | None:
     return None
 
 
+def bvh_state_arrays(bvh: Bvh) -> dict[str, np.ndarray]:
+    """The defining arrays of ``bvh`` as a name→array dict — the persisted
+    form of a single tree (one segment of the epoch store)."""
+    return {attr: getattr(bvh, attr) for attr in BVH_ARRAY_FIELDS}
+
+
+def bvh_from_arrays(
+    arrays: dict[str, np.ndarray],
+    num_primitives: int,
+    options: BvhBuildOptions,
+    compacted: bool = False,
+    refit_generation: int = 0,
+) -> Bvh:
+    """Rehydrate a :class:`Bvh` from persisted defining arrays.
+
+    The arrays are adopted as-is (read-only memory-mapped views included —
+    traversal never writes them), so a load is zero-copy; everything the
+    engine reads is in :data:`BVH_ARRAY_FIELDS`, which makes the rebuilt
+    tree observably identical to the one that was saved.
+    """
+    missing = [attr for attr in BVH_ARRAY_FIELDS if attr not in arrays]
+    if missing:
+        raise ValueError(f"persisted BVH arrays are missing fields {missing}")
+    return Bvh(
+        node_mins=arrays["node_mins"],
+        node_maxs=arrays["node_maxs"],
+        left=arrays["left"],
+        right=arrays["right"],
+        first_prim=arrays["first_prim"],
+        prim_count=arrays["prim_count"],
+        prim_indices=arrays["prim_indices"],
+        num_primitives=int(num_primitives),
+        options=options,
+        compacted=bool(compacted),
+        refit_generation=int(refit_generation),
+    )
+
+
 def build_lbvh_over_sorted(
     sorted_codes: np.ndarray,
     prim_mins: np.ndarray,

@@ -592,6 +592,112 @@ def build_forest(
     )
 
 
+def forest_state_segments(forest: BvhForest):
+    """Yield ``(bucket, arrays, meta)`` per non-empty shard — the persisted
+    form of a forest.
+
+    Only the per-shard *sort outputs* (global rows in code order) and
+    *build outputs* (sub-tree arrays, for delegated buckets) are persisted.
+    Everything else a :class:`BvhForest` carries — the Morton grid, the
+    bucket partition, the top-level plan and the stitched global tree — is
+    a cheap deterministic pass over the key column and is recomputed at
+    load time by :func:`forest_from_saved`, which keeps an incremental save
+    after a delta update proportional to the dirty shards instead of O(n).
+    """
+    for bucket in sorted(forest.shard_rows):
+        arrays: dict[str, np.ndarray] = {
+            "rows": np.ascontiguousarray(forest.shard_rows[bucket], dtype=np.int64)
+        }
+        tree = forest.shard_trees.get(bucket)
+        meta = {"bucket": int(bucket), "delegated": tree is not None}
+        if tree is not None:
+            for name in BVH_ARRAY_FIELDS:
+                arrays[name] = np.ascontiguousarray(getattr(tree, name))
+        yield bucket, arrays, meta
+
+
+def forest_from_saved(
+    primitive_buffer: PrimitiveBuffer,
+    options: BvhBuildOptions,
+    shard_rows: dict[int, np.ndarray],
+    shard_tree_arrays: dict[int, dict[str, np.ndarray]],
+) -> BvhForest:
+    """Rebuild a :class:`BvhForest` from persisted shard state.
+
+    Recomputes the grid, bucket partition and top-level plan from the
+    primitive buffer (deterministic, so they match the saved build
+    exactly), wraps the persisted sub-tree arrays, and re-stitches — the
+    resulting ``forest.bvh`` is bit-identical to the tree that was saved,
+    and the forest is delta-updatable like a freshly built one.  The O(n
+    log n) per-shard sorts and the per-shard tree builds — the expensive
+    parts — are exactly what the persisted state skips.
+    """
+    options.validate()
+    prim_mins, prim_maxs = primitive_buffer.compute_aabbs()
+    prim_mins = prim_mins.astype(np.float64)
+    prim_maxs = prim_maxs.astype(np.float64)
+    n = prim_mins.shape[0]
+    if n == 0:
+        raise ValueError("cannot restore a BVH forest over zero primitives")
+
+    centroids = 0.5 * (prim_mins + prim_maxs)
+    grid, lo, hi = quantize_to_grid_with_bounds(centroids, options.morton_bits)
+    bucket = morton_prefix_buckets(grid, options.morton_bits, options.shard_bits)
+    num_buckets = 1 << options.shard_bits
+    counts = np.bincount(bucket, minlength=num_buckets)
+    shard_vals = np.flatnonzero(counts).astype(np.uint64)
+    shard_counts = counts[shard_vals.astype(np.int64)]
+    plan = plan_top_level(shard_vals, shard_counts, options.max_leaf_size)
+
+    saved = {int(b) for b in shard_rows}
+    expected = {int(b) for b in shard_vals.tolist()}
+    if saved != expected:
+        raise ValueError(
+            "persisted shard set does not match the Morton partition recomputed "
+            f"from the key column (saved {sorted(saved)[:8]}..., "
+            f"expected {sorted(expected)[:8]}...)"
+        )
+    if {int(b) for b in shard_tree_arrays} != set(plan.delegated):
+        raise ValueError(
+            "persisted delegated-shard set does not match the recomputed "
+            "top-level plan"
+        )
+
+    rows: dict[int, np.ndarray] = {int(b): r for b, r in shard_rows.items()}
+    trees: dict[int, Bvh] = {}
+    for b, arrays in shard_tree_arrays.items():
+        count = int(rows[int(b)].shape[0])
+        trees[int(b)] = Bvh(
+            node_mins=arrays["node_mins"],
+            node_maxs=arrays["node_maxs"],
+            left=arrays["left"],
+            right=arrays["right"],
+            first_prim=arrays["first_prim"],
+            prim_count=arrays["prim_count"],
+            prim_indices=arrays["prim_indices"],
+            num_primitives=count,
+            options=options,
+        )
+    bvh = _stitch(
+        shard_vals, shard_counts, rows, trees, plan, prim_mins, prim_maxs, options
+    )
+    return BvhForest(
+        bvh=bvh,
+        options=options,
+        num_primitives=n,
+        scene_lo=lo,
+        scene_hi=hi,
+        bucket_of_row=bucket,
+        shard_ids=shard_vals.astype(np.int64),
+        shard_rows=rows,
+        shard_trees=trees,
+        workers_used=1,
+        built_shards=len(trees),
+        _top_node_count=len(plan.entries),
+        telemetry=None,
+    )
+
+
 def delta_update_forest(
     forest: BvhForest,
     old_buffer: PrimitiveBuffer,

@@ -52,6 +52,32 @@ def live_block_names() -> frozenset[str]:
     return frozenset(_LIVE_NAMES)
 
 
+def reclaim_block_names(names) -> int:
+    """Unlink leftover ``/dev/shm`` blocks by *name*; returns how many.
+
+    The abnormal-exit recovery path: a build process that is SIGKILLed
+    mid-build never runs its finalizers, so the blocks it created stay
+    linked in ``/dev/shm`` with no owner left alive.  A supervising parent
+    that knows the names (or sweeps a recorded list) reclaims them here.
+    Names that are already gone are skipped — the call is idempotent and
+    safe to run against a mix of live and dead entries.
+    """
+    removed = 0
+    for name in names:
+        try:
+            block = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        try:
+            block.unlink()
+            removed += 1
+        except FileNotFoundError:  # pragma: no cover - racing cleanup
+            pass
+        _LIVE_NAMES.discard(name)
+        block.close()
+    return removed
+
+
 def release_blocks(blocks: list[shared_memory.SharedMemory]) -> None:
     """Unlink every block (idempotent) and close its file descriptor.
 

@@ -27,7 +27,20 @@ site                      effect when fired
 ``update``                :meth:`IndexService.update` fails after the swap
                           (rolled back to the previous column)
 ``snapshot``              :meth:`EpochManager.current` raises at capture
+``persist_write``         a segment/manifest write tears mid-stream: half the
+                          bytes land in the temp file, then the save dies
+``persist_fsync``         the save dies after the write but before ``fsync``
+``persist_rename``        the save dies before the atomic rename publishes
+                          the temp file (the orphan the GC later collects)
+``persist_read_corrupt``  a load's checksum verification observes a flipped
+                          bit and raises ``SnapshotCorrupt``
 ========================  ====================================================
+
+The four ``persist_*`` sites cover the durability boundaries of the epoch
+store's write-temp → fsync → atomic-rename protocol
+(:mod:`repro.persist.segments`); the crash harness in
+``tests/test_persist_recovery.py`` schedules each of them at every
+occurrence index and proves the last committed epoch always survives.
 """
 
 from __future__ import annotations
@@ -47,6 +60,10 @@ FAULT_SITES = {
     "cache_corrupt": 4,
     "update": 5,
     "snapshot": 6,
+    "persist_write": 7,
+    "persist_fsync": 8,
+    "persist_rename": 9,
+    "persist_read_corrupt": 10,
 }
 
 

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.core.cursor import parse_cursor
 from repro.core.rx_index import RXIndex
 from repro.serve.cache import ResultCache
 from repro.serve.faults import InjectedFault
@@ -299,6 +300,11 @@ class IndexService:
             limit = int(limit)
             if limit < 1:
                 raise ValueError(f"limit must be at least 1, got {limit}")
+        # Validate the client-supplied cursor token up front: a malformed or
+        # out-of-range token must fail here with a clean ValueError, not deep
+        # inside a coalesced launch.  The original token string still rides
+        # on the request (cache keys and demux labels key on it verbatim).
+        parse_cursor(cursor, max_key=self.index.codec.max_key())
         self._next_request_id += 1
         arrival = float(arrival)
         return self._admit(
@@ -354,6 +360,39 @@ class IndexService:
             outcome = self.index.update(new_keys, new_values)
         self.epochs.current()  # observe the new epoch, sweep the cache
         return outcome
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self, path) -> dict:
+        """Persist the index's current epoch as a crash-safe snapshot.
+
+        Delegates to :meth:`RXIndex.save` with the service's fault injector
+        attached, so a chaos run exercises the write-temp → fsync → rename
+        boundaries of the epoch store exactly like its other seams.
+        In-flight windows are unaffected: a checkpoint only reads the accel
+        state, and a save interrupted by an injected fault leaves the last
+        committed snapshot intact.
+        """
+        return self.index.save(path, fault_injector=self.faults)
+
+    def restore(self, path, mmap: bool = True) -> dict:
+        """Warm-restart the service from a committed snapshot.
+
+        The index adopts the snapshot's accel state via
+        :meth:`RXIndex.restore_from`; the epoch counter advances past both
+        the snapshot's tag and the current epoch, so the epoch manager
+        observes the change, the cache sweeps its older entries, and
+        pinned cursor pages submitted against the pre-restore state fail
+        with ``"epoch_retired"`` instead of serving rows of a different
+        column state.
+        """
+        info = self.index.restore_from(
+            path, mmap=mmap, fault_injector=self.faults
+        )
+        self.epochs.current()  # observe the restored epoch, sweep the cache
+        return info
 
     # ------------------------------------------------------------------ #
     # flushing

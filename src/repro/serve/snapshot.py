@@ -14,6 +14,13 @@ view (it is one Python reference assignment).
 ``REFIT`` updates are rejected: a refit rewrites the node bounds of the
 *shared* tree in place (exactly like the OptiX update operation), so the
 previous epoch's arrays would be silently corrupted under a pinned batch.
+
+Warm restarts ride the same mechanism: ``IndexService.restore()`` makes the
+index adopt a loaded snapshot with an epoch strictly greater than the
+current one, so the next ``current()`` call captures the restored state
+like any other epoch advance — listeners sweep the cache, and cursor pages
+pinned to a pre-restore epoch retire with ``"epoch_retired"`` instead of
+resuming over a different column state.
 """
 
 from __future__ import annotations

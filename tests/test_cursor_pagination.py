@@ -97,10 +97,75 @@ class TestCursorCodec:
         assert parse_cursor(None) is None
         assert cur.encode() == token
 
-    @pytest.mark.parametrize("token", ["", "12", "a|b", "1|", "|1", "-1|2", "1|-2"])
+    @pytest.mark.parametrize(
+        "token",
+        [
+            # wrong field count / missing separator
+            "", "12", "1|2|3", "|",
+            # non-integer parts
+            "a|b", "1|", "|1", "a|1", "1|b", "1.5|2", "1|2.5", " 1 | 2x",
+            # negative components
+            "-1|2", "1|-2", "-1|-2",
+            # too wide for the engine's fixed-width arithmetic (these used
+            # to surface as OverflowError deep inside the filter builder)
+            f"{2**64}|1", f"{2**70}|1", f"1|{2**63}", f"1|{2**70}",
+        ],
+    )
     def test_malformed_tokens_rejected(self, token):
         with pytest.raises(ValueError):
             parse_cursor(token)
+
+    def test_non_string_tokens_rejected(self):
+        for token in (3.5, b"1|2", ["1|2"], {"key": 1}):
+            with pytest.raises(ValueError, match="cursor"):
+                parse_cursor(token)
+
+    def test_max_key_bound(self):
+        assert parse_cursor("100|5", max_key=100) == Cursor(100, 5)
+        with pytest.raises(ValueError, match="maximum representable key"):
+            parse_cursor("101|5", max_key=100)
+
+    def test_key_beyond_codec_range_rejected_at_index(self):
+        from repro.core.config import KeyMode
+
+        # The extended codec represents far fewer than 2^64 keys, so a
+        # cursor key past its range is caught by the codec bound (not the
+        # generic 64-bit width cap).
+        from repro.core.config import RangeRayMode
+
+        config = RXConfig.paper_default()
+        config.key_mode = KeyMode.EXTENDED
+        config.range_ray_mode = RangeRayMode.PARALLEL_FROM_ZERO
+        index = RXIndex(config)
+        index.build(np.arange(64, dtype=np.uint64))
+        over = index.codec.max_key() + 1
+        with pytest.raises(ValueError, match="maximum representable key"):
+            index.range_lookup(
+                np.array([0], dtype=np.uint64),
+                np.array([9], dtype=np.uint64),
+                limit=4,
+                order="key",
+                cursor=f"{over}|0",
+            )
+
+    def test_malformed_tokens_rejected_at_service_boundary(self):
+        from repro.serve import IndexService
+
+        index = RXIndex(RXConfig.paper_default())
+        index.build(np.arange(64, dtype=np.uint64))
+        service = IndexService(index)
+        lowers = np.array([0], dtype=np.uint64)
+        uppers = np.array([9], dtype=np.uint64)
+        for token in ("1|2|3", "a|1", f"{2**70}|1", f"1|{2**70}"):
+            with pytest.raises(ValueError, match="cursor"):
+                service.submit_range(
+                    lowers, uppers, limit=4, order="key", cursor=token
+                )
+        # Nothing was enqueued by the rejected submissions.
+        assert not service.scheduler.pending
+        # A well-formed cursor still goes through the normal path.
+        service.submit_range(lowers, uppers, limit=4, order="key", cursor="3|3")
+        assert service.drain()
 
     def test_no_cursor_returns_base_filter_unchanged(self):
         keys = np.arange(8, dtype=np.uint64)

@@ -27,6 +27,7 @@ from repro.bench.experiments import (
     fig17_range,
     fig18_hardware,
     paging_scan,
+    restart,
     table03_range_origin,
     table04_updates,
     table05_warps,
@@ -38,7 +39,7 @@ SCALE = "tiny"
 
 
 def test_every_experiment_is_registered():
-    assert len(ALL_EXPERIMENTS) == 22
+    assert len(ALL_EXPERIMENTS) == 23
 
 
 def test_every_experiment_produces_text():
@@ -376,6 +377,24 @@ class TestPagingScan:
             assert max(resume) <= max(resume[0], rescan[0]) * 1.25
             # At the deepest page, resuming beats rescanning the prefix.
             assert rescan[-1] > 3 * resume[-1]
+
+
+class TestRestart:
+    def test_all_restart_paths_are_timed_and_identity_gated(self):
+        # run() itself asserts bit-identical BVH arrays and lookup answers
+        # before timing each point; here we pin the shape of what it reports.
+        result = restart.run(scale=SCALE)
+        rebuild = result.series_by_label("full rebuild")
+        mmap_load = result.series_by_label("cold load (mmap)")
+        heap_load = result.series_by_label("cold load (heap)")
+        save = result.series_by_label("save")
+        assert len(rebuild.y) == len(mmap_load.y) == len(heap_load.y) == len(save.y)
+        for series in (rebuild, mmap_load, heap_load, save):
+            assert all(v > 0.0 for v in series.y)
+        # Rebuild cost grows with the key count; the snapshot on disk does too.
+        assert rebuild.y[-1] > rebuild.y[0]
+        sizes = mmap_load.extra["bytes_on_disk"]
+        assert sizes == sorted(sizes) and sizes[0] > 0
 
 
 class TestAblation:

@@ -16,6 +16,10 @@ is unlinked again, no matter how the build ends:
 """
 
 import gc
+import multiprocessing
+import os
+import signal
+import time
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -50,6 +54,18 @@ def _assert_no_new_blocks(baseline: frozenset) -> None:
 def _boom(task):
     """Module-level so the fork pool can pickle it by qualified name."""
     raise ValueError("injected worker failure")
+
+
+def _killable_build(queue):
+    """Child-process target: start an shm build, report the live block
+    names mid-build, then stall so the parent can SIGKILL it."""
+
+    def report_and_stall(task):
+        queue.put(sorted(shm.live_block_names()))
+        time.sleep(300)  # the parent kills us long before this expires
+
+    forest_mod._shm_round1 = report_and_stall
+    build_forest(_buffer(_points(1200, seed=7)), _options(workers=1))
 
 
 class TestLifecycle:
@@ -132,6 +148,43 @@ class TestFailurePaths:
         for name in seen:
             # The definitive probe: a released block's name cannot be
             # attached to again.
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        _assert_no_new_blocks(baseline)
+
+    def test_sigkilled_build_leaves_no_blocks_after_parent_cleanup(self):
+        """A build process killed with SIGKILL mid-build cannot run any
+        finalizer, so its ``/dev/shm`` blocks survive it — the abnormal
+        exit no amount of in-process error handling covers.  The parent
+        must be able to reclaim every one of them by name."""
+        baseline = shm.live_block_names()
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        child = ctx.Process(target=_killable_build, args=(queue,))
+        child.start()
+        try:
+            names = queue.get(timeout=60)
+        finally:
+            os.kill(child.pid, signal.SIGKILL)
+            child.join(timeout=60)
+        assert child.exitcode == -signal.SIGKILL
+        assert names, "the build must have allocated blocks before the kill"
+
+        # The kill really leaked: the names are still attachable.
+        leaked = []
+        for name in names:
+            try:
+                block = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            block.close()
+            leaked.append(name)
+        assert leaked, "SIGKILL mid-build must leave linked blocks behind"
+
+        # Parent cleanup reclaims every one of them, idempotently.
+        assert shm.reclaim_block_names(names) == len(leaked)
+        assert shm.reclaim_block_names(names) == 0
+        for name in names:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
         _assert_no_new_blocks(baseline)
