@@ -29,6 +29,7 @@ orphans that :func:`repro.persist.store` can garbage-collect.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import struct
@@ -114,6 +115,21 @@ def payload_crc(arrays: dict[str, np.ndarray]) -> int:
     return crc.digest()
 
 
+def payload_sha256(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over the concatenated array payloads (order-sensitive).
+
+    The second, independent identity digest for incremental reuse: CRC32C
+    is a corruption detector, not a content fingerprint (a changed payload
+    collides with probability 2^-32 per save), so the reuse decision
+    requires *both* digests to match before referencing the previous
+    epoch's file instead of rewriting.
+    """
+    digest = hashlib.sha256()
+    for array in arrays.values():
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
 def assemble_segment(
     name: str, epoch: int, arrays: dict[str, np.ndarray], meta: dict | None = None
 ) -> np.ndarray:
@@ -164,17 +180,23 @@ def write_segment(
     arrays: dict[str, np.ndarray],
     meta: dict | None = None,
     fault_injector=None,
+    payload_digests: tuple[int, str] | None = None,
 ) -> dict:
     """Assemble, checksum and atomically publish one segment.
 
     Returns the manifest entry for the segment (sans the relative path,
-    which the store fills in): whole-file and payload CRCs, length and the
-    segment's own epoch tag.
+    which the store fills in): whole-file CRC, both payload identity
+    digests, length and the segment's own epoch tag.  ``payload_digests``
+    (``(crc32c, sha256)``) lets the store pass digests it already computed
+    for the reuse decision instead of hashing the payload twice.
     """
     blob = assemble_segment(name, epoch, arrays, meta)
+    if payload_digests is None:
+        payload_digests = (payload_crc(arrays), payload_sha256(arrays))
     entry = {
         "crc32c": crc32c(blob),
-        "payload_crc32c": payload_crc(arrays),
+        "payload_crc32c": int(payload_digests[0]),
+        "payload_sha256": payload_digests[1],
         "length": int(blob.shape[0]),
         "epoch": int(epoch),
     }

@@ -13,18 +13,31 @@ On-disk layout of one store (``path`` handed to ``RXIndex.save``)::
         shard-00012.seg           the clean ones from epoch-00000000
 
 Incremental saves are driven by content, not bookkeeping: every segment's
-payload CRC32C is compared against the previous manifest's entry, and a
-matching segment is *referenced* (its immutable file reused, possibly from
-an older epoch directory) instead of rewritten.  After a DELTA_SHARD
-update only the dirty shards' payloads change, so exactly those segments
-(plus the key column) hit the disk.
+payload digests (CRC32C *and* SHA-256 — CRC alone is a corruption
+detector, not an identity) are compared against the previous manifest's
+entry, and a matching segment is *referenced* (its immutable file reused,
+possibly from an older epoch directory) instead of rewritten.  After a
+DELTA_SHARD update only the dirty shards' payloads change, so exactly
+those segments (plus the key column) hit the disk.
 
 Crash safety: segments and the manifest are published with write-temp →
-fsync → atomic rename, and a snapshot is visible iff the manifest rename
-landed.  A save killed at any boundary leaves the previous committed
-epoch fully intact; the next save or load garbage-collects the orphaned
-``.tmp.*`` files, and a committed save prunes segment files no longer
-referenced by the new manifest.
+fsync → atomic rename (with the containing directories fsynced before the
+commit so the renames are durable when the manifest is), and a snapshot
+is visible iff the manifest rename landed.  The save epoch is forced past
+the committed manifest's epoch whenever anything must be rewritten, so a
+save never replaces a file the committed manifest references — even when
+a fresh process restarts its in-memory epoch counter at zero.  A save
+killed at any boundary therefore leaves the previous committed epoch
+fully intact; the next *save* garbage-collects the orphaned ``.tmp.*``
+files, and a committed save prunes segment files no longer referenced by
+the new manifest.
+
+Concurrency: the store assumes a **single writer** per directory (saves
+GC each other's temp files and prune each other's segments), and readers
+that hold a loaded snapshot across a concurrent save keep their mapped
+segments alive via the open mappings even if a later save unlinks the
+files — but a reader must not cache a *manifest* across saves and resolve
+its paths later.  Loads never delete anything.
 """
 
 from __future__ import annotations
@@ -44,14 +57,20 @@ from repro.persist.manifest import (
 )
 from repro.persist.segments import (
     TMP_PREFIX,
+    fsync_dir,
     payload_crc,
+    payload_sha256,
     read_segment,
     write_segment,
 )
 
 
 def gc_orphans(root: Path) -> int:
-    """Remove ``.tmp.*`` files an interrupted save left behind."""
+    """Remove ``.tmp.*`` files an interrupted save left behind.
+
+    Called from the save path only (the store is single-writer): a load
+    must never unlink another process's in-flight temp file.
+    """
     root = Path(root)
     removed = 0
     if not root.is_dir():
@@ -126,7 +145,6 @@ class LoadedSnapshot:
     bytes_on_disk: int
     load_seconds: float
     checksum_verify_seconds: float
-    orphans_removed: int
     segments_total: int = field(init=False)
 
     def __post_init__(self) -> None:
@@ -150,10 +168,19 @@ def save_snapshot(
     """Write one epoch's segments and commit a new manifest.
 
     ``segments`` maps segment names to ``(arrays, meta)``.  Segments whose
-    payload CRC matches the previous committed manifest are referenced
-    from their existing epoch directory instead of rewritten; everything
-    else is published under ``epoch-{epoch:08d}/`` with the atomic write
-    protocol.  The manifest commit is the single visibility point.
+    payload digests (CRC32C and SHA-256, both) match the previous
+    committed manifest are referenced from their existing epoch directory
+    instead of rewritten; everything else is published under
+    ``epoch-{epoch:08d}/`` with the atomic write protocol.  The manifest
+    commit is the single visibility point.
+
+    The caller's ``epoch`` is advisory: whenever any segment must be
+    rewritten, the effective epoch is forced past the committed manifest's
+    so new files always land in a fresh epoch directory — a caller whose
+    in-memory epoch counter restarted at zero (a new process re-saving
+    into an existing store) must never ``os.replace`` a file the committed
+    manifest references, or a crash between that rename and the manifest
+    commit corrupts the last committed snapshot.
     """
     start = time.perf_counter()
     root = Path(path)
@@ -166,21 +193,44 @@ def save_snapshot(
         prior = None
     prior_entries = prior["segments"] if prior else {}
 
-    epoch = int(epoch)
-    epoch_dir = f"epoch-{epoch:08d}"
-    (root / epoch_dir).mkdir(exist_ok=True)
+    # Phase 1 — the reuse decision for every segment, before any path is
+    # chosen: both payload digests must match the committed entry and the
+    # referenced file must still exist.
+    plans: dict[str, tuple[str, object]] = {}
+    for name, (arrays, _meta) in segments.items():
+        prior_entry = prior_entries.get(name)
+        digests = (payload_crc(arrays), payload_sha256(arrays))
+        if (
+            prior_entry is not None
+            and int(prior_entry["payload_crc32c"]) == digests[0]
+            and prior_entry.get("payload_sha256") == digests[1]
+            and (root / prior_entry["path"]).is_file()
+        ):
+            plans[name] = ("reuse", dict(prior_entry))
+        else:
+            plans[name] = ("rewrite", digests)
+    any_rewrite = any(kind == "rewrite" for kind, _ in plans.values())
 
+    epoch = int(epoch)
+    if prior is not None:
+        prior_epoch = int(prior["epoch"])
+        # Committed manifests only ever reference epoch dirs <= their own
+        # epoch, so prior_epoch + 1 is guaranteed collision-free; with
+        # nothing to rewrite the epoch merely stays monotone.
+        epoch = max(epoch, prior_epoch + 1) if any_rewrite else max(epoch, prior_epoch)
+    epoch_dir = f"epoch-{epoch:08d}"
+    if any_rewrite:
+        (root / epoch_dir).mkdir(exist_ok=True)
+        fsync_dir(root)  # the new epoch directory entry, durably
+
+    # Phase 2 — publish the rewrites and assemble the manifest.
     manifest_entries: dict[str, dict] = {}
     rewritten = 0
     reused = 0
     for name, (arrays, meta) in segments.items():
-        prior_entry = prior_entries.get(name)
-        if (
-            prior_entry is not None
-            and int(prior_entry["payload_crc32c"]) == payload_crc(arrays)
-            and (root / prior_entry["path"]).is_file()
-        ):
-            manifest_entries[name] = dict(prior_entry)
+        kind, plan = plans[name]
+        if kind == "reuse":
+            manifest_entries[name] = plan
             reused += 1
             continue
         rel = f"{epoch_dir}/{name}.seg"
@@ -191,10 +241,16 @@ def save_snapshot(
             arrays=arrays,
             meta=meta,
             fault_injector=fault_injector,
+            payload_digests=plan,
         )
         entry["path"] = rel
         manifest_entries[name] = entry
         rewritten += 1
+    if any_rewrite:
+        # Make the segment renames durable before the manifest that
+        # references them can commit: a power cut must never preserve the
+        # manifest rename while losing the epoch dir's entries.
+        fsync_dir(root / epoch_dir)
 
     manifest = {
         "format_version": FORMAT_VERSION,
@@ -226,12 +282,12 @@ def load_snapshot(
     its own epoch tag against the manifest entry before any array view is
     handed out — a failure raises :class:`SnapshotTorn` /
     :class:`SnapshotCorrupt` naming the segment, and no partially-verified
-    state escapes.  Orphaned temp files from interrupted saves are
-    garbage-collected on the way.
+    state escapes.  Loads are strictly read-only: orphaned temp files from
+    interrupted saves are left for the next *save* to garbage-collect, so
+    a load can never unlink a concurrent writer's in-flight temp file.
     """
     start = time.perf_counter()
     root = Path(path)
-    orphans_removed = gc_orphans(root)
     manifest = load_manifest(root)
     segments: dict[str, tuple[dict[str, np.ndarray], dict]] = {}
     verify_seconds = 0.0
@@ -256,5 +312,4 @@ def load_snapshot(
         ),
         load_seconds=time.perf_counter() - start,
         checksum_verify_seconds=verify_seconds,
-        orphans_removed=orphans_removed,
     )

@@ -114,11 +114,11 @@ class TestInterruptedSaves:
             rows = survivor.point_lookup(queries)
             assert np.array_equal(rows.result_rows, golden_rows), label
             assert np.array_equal(rows.hits_per_lookup, golden_counts), label
-            # The load garbage-collected the interrupted save's temp files.
-            assert not list(store.rglob(f"{TMP_PREFIX}*")), label
 
-            # A clean retry fully publishes epoch B.
+            # A clean retry fully publishes epoch B and garbage-collects
+            # the interrupted save's temp files (loads are read-only).
             index.save(store)
+            assert not list(store.rglob(f"{TMP_PREFIX}*")), label
             retried = RXIndex.load(store)
             assert bvh_arrays_diff(retried.accel.bvh, index.accel.bvh) is None, label
 
@@ -145,6 +145,64 @@ class TestInterruptedSaves:
         assert np.array_equal(
             after.arrays("columns")["keys"], before.arrays("columns")["keys"]
         )
+
+    def test_fresh_process_resave_never_clobbers_committed_epoch(self, tmp_path):
+        """A new process restarts its in-memory epoch counter at zero, so a
+        freshly built index saves with the same epoch number the store
+        already committed.  The save must land in a *new* epoch directory —
+        killed at any boundary, the committed snapshot survives untouched."""
+        index_a, keys_a = _make_index(seed=7)
+        base = tmp_path / "base"
+        index_a.save(base)
+        golden = RXIndex.load(base)
+        queries, golden_rows, golden_counts = _point_probe(golden, keys_a)
+        committed_files = {
+            p: p.read_bytes() for p in sorted(base.rglob("*.seg"))
+        }
+
+        # "After a restart": a different index whose epoch counter collides
+        # with the committed epoch.
+        index_b, _ = _make_index(num_keys=768, seed=23)
+        assert index_b.epoch == golden.epoch, "test needs the collision"
+
+        probe_dir = tmp_path / "probe"
+        shutil.copytree(base, probe_dir)
+        probe = FaultInjector(seed=FAULT_SEED)
+        index_b.save(probe_dir, fault_injector=probe)
+        schedule = [
+            (site, occurrence)
+            for site in WRITE_SITES
+            for occurrence in range(probe.occurrences[site])
+        ]
+        assert len(schedule) >= 6
+
+        for trial, (site, occurrence) in enumerate(schedule):
+            store = tmp_path / f"collision-{trial}"
+            shutil.copytree(base, store)
+            injector = FaultInjector(
+                seed=FAULT_SEED, specs={site: FaultSpec(at={occurrence})}
+            )
+            with pytest.raises(InjectedFault):
+                index_b.save(store, fault_injector=injector)
+            label = f"{site}@{occurrence}"
+            # Every committed segment file is byte-identical wreckage-proof:
+            # the interrupted save never renamed over a referenced path.
+            for path, blob in committed_files.items():
+                relocated = store / path.relative_to(base)
+                assert relocated.read_bytes() == blob, label
+            survivor = RXIndex.load(store)
+            assert survivor.epoch == golden.epoch, label
+            rows = survivor.point_lookup(queries)
+            assert np.array_equal(rows.result_rows, golden_rows), label
+            assert np.array_equal(rows.hits_per_lookup, golden_counts), label
+
+        # A completed save publishes B under a strictly newer epoch.
+        done = tmp_path / "collision-done"
+        shutil.copytree(base, done)
+        result = index_b.save(done)
+        assert result["epoch"] > golden.epoch
+        reloaded = RXIndex.load(done)
+        assert np.array_equal(reloaded.keys, index_b.keys)
 
 
 class TestVerifiedLoads:
@@ -208,12 +266,17 @@ class TestVerifiedLoads:
         with pytest.raises(SnapshotCorrupt, match="checksum"):
             RXIndex.load(tmp_path, fault_injector=injector)
 
-    def test_orphan_temp_files_are_collected(self, tmp_path):
+    def test_orphan_temp_files_are_collected_by_saves_not_loads(self, tmp_path):
         index, _ = _make_index()
         index.save(tmp_path)
         orphan = tmp_path / f"{TMP_PREFIX}stale.seg"
         orphan.write_bytes(b"half a segment")
+        # A load is strictly read-only: it must not unlink what could be a
+        # concurrent writer's in-flight temp file.
         RXIndex.load(tmp_path)
+        assert orphan.exists()
+        # The next save (the store is single-writer) collects it.
+        index.save(tmp_path)
         assert not orphan.exists()
 
 
@@ -255,6 +318,28 @@ class TestIncrementalSaves:
         again = index.save(tmp_path)
         assert again["segments_rewritten"] == 0
         assert again["segments_reused"] == again["segments_total"]
+
+    def test_crc_collision_alone_never_reuses_a_changed_segment(
+        self, tmp_path, monkeypatch
+    ):
+        """CRC32C is a corruption detector, not a content identity: when a
+        changed payload collides with the committed entry's CRC (forced
+        here by stubbing the CRC to a constant), the second independent
+        digest must still force the rewrite — never silently persist stale
+        data."""
+        from repro.persist import store as store_mod
+
+        monkeypatch.setattr(store_mod, "payload_crc", lambda arrays: 0)
+        index, keys = _make_index(num_keys=512)
+        index.save(tmp_path)
+
+        new_keys = keys.copy()
+        new_keys[0] += 1
+        index.update(new_keys)
+        result = index.save(tmp_path)
+        assert result["segments_rewritten"] >= 1
+        reloaded = RXIndex.load(tmp_path)
+        assert np.array_equal(reloaded.keys, index.keys)
 
 
 class TestServiceRestart:
